@@ -1,0 +1,71 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark file reproduces one table/figure/claim from the paper
+(see the per-experiment index in DESIGN.md).  Conventions:
+
+* pytest-benchmark measures the wall-clock cost of running the
+  simulation; the *simulated* metrics the paper reports are attached to
+  ``benchmark.extra_info`` and printed by each module's ``main()``;
+* every module is runnable directly (``python benchmarks/bench_x.py``)
+  and prints the paper-format rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, List, Optional
+
+from repro.sim import Environment
+
+__all__ = ["run_proc", "fmt_row", "print_table"]
+
+
+def run_proc(env: Environment, gen: Generator,
+             horizon: float = 5_000_000_000.0) -> Any:
+    """Run one process to completion and return its value.
+
+    Stops as soon as the process finishes (important when background
+    traffic generators would otherwise run to the horizon), and raises
+    if the horizon passes first.
+    """
+    proc = env.process(gen)
+    env.run(until=env.now + horizon, until_event=proc)
+    if not proc.triggered:
+        raise RuntimeError("benchmark process did not finish in horizon")
+    if not proc.ok:
+        raise proc.value
+    return proc.value
+
+
+def fmt_row(columns: List[Any], widths: List[int]) -> str:
+    cells = []
+    for value, width in zip(columns, widths):
+        if isinstance(value, float):
+            cells.append(f"{value:>{width}.1f}")
+        else:
+            cells.append(f"{value!s:>{width}}")
+    return "  ".join(cells)
+
+
+def print_table(title: str, header: List[str], rows: List[List[Any]],
+                widths: Optional[List[int]] = None) -> None:
+    widths = widths or [max(12, len(h)) for h in header]
+    print(f"\n=== {title} ===")
+    print(fmt_row(header, widths))
+    print("-" * (sum(widths) + 2 * len(widths)))
+    for row in rows:
+        print(fmt_row(row, widths))
+
+
+def memoize(fn):
+    """Cache a zero-argument collect() so paired tests share one run."""
+    sentinel = object()
+    state = {"value": sentinel}
+
+    def wrapper():
+        if state["value"] is sentinel:
+            state["value"] = fn()
+        return state["value"]
+
+    wrapper.__doc__ = fn.__doc__
+    wrapper.__name__ = getattr(fn, "__name__", "collect")
+    return wrapper

@@ -1,0 +1,74 @@
+"""Experiment F1: Figure 1 — the composable-infrastructure architecture.
+
+Builds the rack of Figure 1(b): n host servers (CPU + local DIMMs +
+FHA), a fabric switch, FAM chassis (FEA + controller + rDIMM modules)
+and an FAA chassis, then checks the structural inventory and that
+every host reaches every chassis through the fabric.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.fabric import Channel, Packet, PacketKind
+from repro.infra import ClusterSpec, FaaSpec, FamSpec, build_cluster
+from repro.sim import Environment
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import run_proc
+
+
+def build():
+    env = Environment()
+    cluster = build_cluster(env, ClusterSpec(
+        hosts=2,
+        fams=[FamSpec(name="fam0", capacity_bytes=1 << 28, modules=6)],
+        faas=[FaaSpec(name="faa0", accelerators=8)]))
+    return env, cluster
+
+
+def test_fig1_inventory(benchmark):
+    env, cluster = benchmark.pedantic(build, rounds=1, iterations=1)
+    # Figure 1(b): hosts with FHAs and local DIMMs...
+    assert len(cluster.hosts) == 2
+    for host in cluster.hosts.values():
+        assert host.fha is not None
+        assert not host.address_map.regions()[0].is_remote
+    # ...a FAM chassis modelled after Omega's six E3.S modules...
+    assert len(cluster.fam("fam0").modules) == 6
+    # ...an FAA chassis modelled after Fabrex's eight accelerators...
+    assert len(cluster.faa("faa0").accelerators) == 8
+    # ...one switch whose ports cover every endpoint.
+    switch = cluster.topology.switches["sw0"]
+    assert switch.port_count() == 4   # 2 hosts + fam + faa
+    benchmark.extra_info["switch_ports"] = switch.port_count()
+
+
+def test_fig1_all_hosts_reach_all_devices(benchmark):
+    def go_all():
+        env, cluster = build()
+
+        def one(host, dst_name):
+            packet = Packet(kind=PacketKind.MEM_RD,
+                            channel=Channel.CXL_MEM,
+                            src=host.port.port_id,
+                            dst=cluster.endpoint_id(dst_name), nbytes=64)
+            response = yield from host.port.request(packet)
+            return response.kind
+
+        results = []
+        for host in cluster.hosts.values():
+            results.append(run_proc(env, one(host, "fam0")))
+        return results
+
+    kinds = benchmark.pedantic(go_all, rounds=1, iterations=1)
+    assert all(k is PacketKind.MEM_RD_DATA for k in kinds)
+
+
+def main() -> None:
+    env, cluster = build()
+    print(cluster.describe())
+
+
+if __name__ == "__main__":
+    main()

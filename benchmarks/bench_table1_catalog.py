@@ -1,0 +1,31 @@
+"""Experiment T1: Table 1 — the commodity memory-fabric catalog.
+
+Not a performance experiment; regenerates the table as data and checks
+the facts the paper states (four fabrics; Gen-Z and OpenCAPI merged
+into CXL; CXL spans 1.0-3.0).
+"""
+
+from __future__ import annotations
+
+from repro.fabric import CATALOG, format_table1
+
+
+def test_table1_catalog(benchmark):
+    table = benchmark.pedantic(format_table1, rounds=1, iterations=1)
+    assert len(CATALOG) == 4
+    merged = {spec.interconnect for spec in CATALOG if spec.merged_into_cxl}
+    assert merged == {"Gen-Z", "CAPI/OpenCAPI"}
+    cxl = next(s for s in CATALOG if s.interconnect == "CXL")
+    assert cxl.specifications == ("CXL 1.0", "CXL 1.1", "CXL 2.0",
+                                  "CXL 3.0")
+    assert "Omega Fabric" in cxl.product_demonstrations
+    assert "Gen-Z" in table
+    benchmark.extra_info["fabrics"] = len(CATALOG)
+
+
+def main() -> None:
+    print(format_table1())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Idempotent tasks surviving passive failure domains.
+
+Run:  python examples/fault_tolerant_pipeline.py
+
+Builds a data pipeline in the task IR (read inputs -> compute -> write
+outputs, per stage), lets the DP#3 compiler cut it into idempotent
+regions, then executes it under increasingly hostile failure injection
+— once with region replay and once with whole-task restart — and
+prints the wasted-work comparison.
+"""
+
+from repro import (
+    ClusterSpec,
+    Environment,
+    FailureInjector,
+    IdempotentTask,
+    Task,
+    build_cluster,
+)
+from repro.core import TaskRuntime
+from repro.sim import SimRng
+
+STAGES = 20
+READS_PER_STAGE = 6
+
+
+def build_pipeline() -> Task:
+    task = Task("etl-pipeline")
+    for stage in range(STAGES):
+        base = stage * 0x4000
+        for i in range(READS_PER_STAGE):
+            task.read(base + i * 64)
+        task.compute(300.0)
+        task.write(base)     # in-place update: clobbers stage input
+    return task
+
+
+def main() -> None:
+    task = build_pipeline()
+    idem = IdempotentTask(task)
+    print(f"pipeline: {len(task)} ops")
+    print(f"compiler cut {idem.region_count} idempotent regions "
+          f"(largest replays {idem.max_replay_ops} ops)")
+    print()
+    header = (f"{'fail rate':>10} {'recovery':>12} {'time us':>10} "
+              f"{'replayed':>9} {'waste':>7}")
+    print(header)
+    print("-" * len(header))
+
+    for rate in (0.0, 0.01, 0.03, 0.06):
+        for recovery in ("idempotent", "restart"):
+            env = Environment()
+            cluster = build_cluster(env, ClusterSpec(hosts=1))
+            runtime = TaskRuntime(
+                env, cluster.host(0),
+                injector=FailureInjector(rate=rate, rng=SimRng(42)),
+                recovery=recovery)
+
+            def go():
+                return (yield from runtime.execute(task))
+
+            proc = env.process(go())
+            env.run(until=1_000_000_000_000, until_event=proc)
+            result = proc.value
+            print(f"{rate:>10.2f} {recovery:>12} "
+                  f"{result.completion_ns / 1e3:>10.1f} "
+                  f"{result.replayed_ops:>9} "
+                  f"{result.waste_fraction:>6.1%}")
+    print("\nidempotent regions bound the damage of every failure to "
+          "one region's worth of work;")
+    print("restart recovery pays the whole task again and can livelock "
+          "at high failure rates.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Communication-fabric baseline: the asynchronous DMA world.
+
+Models the pre-CXL path the paper contrasts against in section 3
+(difference #1: submission/completion instead of load/store; and
+difference #4: launching a kernel on an Ethernet-attached accelerator
+needs a communication channel, a networking stack, and explicit
+context setup).
+
+The costs are parameterized from :mod:`repro.params`: a per-message
+network-stack tax, DMA descriptor setup, wire transfer at NIC
+bandwidth, and a completion interrupt.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from .. import params
+from ..sim import Environment, Event, Resource
+
+__all__ = ["CommFabricChannel"]
+
+
+class CommFabricChannel:
+    """One host<->device channel over a commodity NIC."""
+
+    def __init__(self, env: Environment,
+                 bandwidth_bytes_per_ns: float = 12.5,  # 100 Gb Ethernet
+                 stack_ns: float = params.NIC_STACK_NS,
+                 dma_setup_ns: float = params.DMA_SETUP_NS,
+                 interrupt_ns: float = params.DMA_INTERRUPT_NS,
+                 name: str = "nic") -> None:
+        if bandwidth_bytes_per_ns <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.env = env
+        self.name = name
+        self.bandwidth_bytes_per_ns = bandwidth_bytes_per_ns
+        self.stack_ns = stack_ns
+        self.dma_setup_ns = dma_setup_ns
+        self.interrupt_ns = interrupt_ns
+        self._wire = Resource(env)
+        self.messages = 0
+        self.bytes_transferred = 0
+
+    def transfer(self, nbytes: int,
+                 device_service_ns: float = 0.0
+                 ) -> Generator[Event, None, float]:
+        """One submission/completion round trip moving ``nbytes``.
+
+        Charges: host stack -> DMA setup -> wire -> device service ->
+        completion interrupt -> host stack (receive side).  Returns the
+        total latency.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        start = self.env.now
+        yield self.env.timeout(self.stack_ns)
+        yield self.env.timeout(self.dma_setup_ns)
+        with self._wire.request() as grant:
+            yield grant
+            yield self.env.timeout(nbytes / self.bandwidth_bytes_per_ns)
+        if device_service_ns > 0:
+            yield self.env.timeout(device_service_ns)
+        yield self.env.timeout(self.interrupt_ns)
+        self.messages += 1
+        self.bytes_transferred += nbytes
+        return self.env.now - start
+
+    def remote_read(self, nbytes: int = params.CACHELINE_BYTES,
+                    device_service_ns: float = params.FAM_ACCESS_NS
+                    ) -> Generator[Event, None, float]:
+        """RPC-style remote memory read (request out, data back)."""
+        latency = yield from self.transfer(nbytes, device_service_ns)
+        return latency
+
+    def kernel_launch(self, context_bytes: int = 4096,
+                      kernel_ns: float = 0.0
+                      ) -> Generator[Event, None, float]:
+        """Launch a kernel on an Ethernet-attached accelerator.
+
+        Ships the execution context (registers, push/pull buffers) over
+        the NIC, runs the kernel, and takes a completion interrupt —
+        the flow the paper says memory fabrics collapse into a handful
+        of loads/stores.
+        """
+        latency = yield from self.transfer(context_bytes, kernel_ns)
+        return latency

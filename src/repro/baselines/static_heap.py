@@ -1,0 +1,50 @@
+"""Static-placement far-memory baseline (vs. the DP#2 unified heap).
+
+Stands in for an AIFM-style object heap that places objects once (by a
+fixed policy) and never migrates them, and is oblivious to memory-node
+types.  Built on the same allocator substrate as the unified heap so
+the ablation isolates exactly the profiling + migration machinery.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..core.heap import MemoryBin, SmartPointer, UnifiedHeap
+from ..sim import Environment
+
+__all__ = ["StaticPlacementHeap"]
+
+
+class StaticPlacementHeap(UnifiedHeap):
+    """A unified heap with migration disabled and naive placement.
+
+    Placement policies:
+
+    * ``"first"`` — always fill the first bin added, spill in order
+      (what a naive malloc-over-HDM layout does);
+    * ``"round-robin"`` — stripe objects across all bins, ignoring
+      their temperature and the node types entirely.
+    """
+
+    def __init__(self, env: Environment, host, engine,
+                 placement: str = "first") -> None:
+        if placement not in ("first", "round-robin"):
+            raise ValueError(f"unknown placement {placement!r}")
+        super().__init__(env, host, engine)
+        self.placement = placement
+        self._next_bin = 0
+
+    def bins_by_preference(self, prefer_tier: Optional[str]
+                           ) -> List[MemoryBin]:
+        ordered = list(self.bins.values())
+        if self.placement == "round-robin" and ordered:
+            rotation = self._next_bin % len(ordered)
+            self._next_bin += 1
+            ordered = ordered[rotation:] + ordered[:rotation]
+        return ordered
+
+    def migrate(self, oid: int, target_bin: MemoryBin):
+        """Static placement: objects never move."""
+        yield self.env.timeout(0)
+        return False

@@ -1,0 +1,133 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info``    — print the Table 1 fabric catalog and a default rack;
+* ``table2``  — quick calibration check against the paper's Table 2;
+* ``demo``    — a one-minute tour: build a rack, run a workload, print
+  the latency contrast and the heap/migration stats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import params
+from .core import MovementOrchestrator, UnifiedHeap
+from .core.heap import HeapRuntime
+from .fabric import format_table1
+from .infra import ClusterSpec, build_cluster
+from .sim import Environment
+
+__all__ = ["main"]
+
+
+def cmd_info(_args: argparse.Namespace) -> int:
+    print(format_table1())
+    print()
+    env = Environment()
+    cluster = build_cluster(env, ClusterSpec(hosts=2))
+    print(cluster.describe())
+    return 0
+
+
+def cmd_table2(_args: argparse.Namespace) -> int:
+    """Measure the four Table 2 latency rows on a fresh rack."""
+    env = Environment()
+    cluster = build_cluster(env, ClusterSpec(hosts=1))
+    host = cluster.host(0)
+    base = host.remote_base("fam0")
+    rows = []
+
+    def measure():
+        cases = [
+            ("local read", 0x40000, False, params.LOCAL_MEM_READ_NS),
+            ("local write", 0x80000, True, params.LOCAL_MEM_WRITE_NS),
+            ("remote read", base + 0x40000, False,
+             params.REMOTE_MEM_READ_NS),
+            ("remote write", base + 0x80000, True,
+             params.REMOTE_MEM_WRITE_NS),
+        ]
+        for label, addr, is_write, target in cases:
+            start = env.now
+            yield from host.mem.access(addr, is_write)
+            rows.append((label, env.now - start, target))
+        # Warm hits for the cache rows.
+        yield from host.mem.access(0x40000, False)
+        start = env.now
+        yield from host.mem.access(0x40000, False)
+        rows.insert(0, ("L1 read (hit)", env.now - start,
+                        params.L1_READ_NS))
+
+    proc = env.process(measure())
+    env.run(until=10_000_000, until_event=proc)
+    print(f"{'case':<16} {'sim ns':>10} {'paper ns':>10}")
+    status = 0
+    for label, measured, target in rows:
+        marker = ""
+        if abs(measured - target) / target > 0.02:
+            marker = "  <-- off"
+            status = 1
+        print(f"{label:<16} {measured:>10.1f} {target:>10.1f}{marker}")
+    return status
+
+
+def cmd_demo(_args: argparse.Namespace) -> int:
+    env = Environment()
+    cluster = build_cluster(env, ClusterSpec(hosts=1))
+    host = cluster.host(0)
+    engine = MovementOrchestrator(env).attach_host(host)
+    heap = UnifiedHeap(env, host, engine)
+    heap.add_bin("local", start=1 << 20, size=128 * 1024, tier="local",
+                 is_remote=False)
+    heap.add_bin("fam0", start=host.remote_base("fam0"), size=8 << 20,
+                 tier="cpuless-numa", is_remote=True)
+    runtime = HeapRuntime(env, heap, local_bin="local",
+                          interval_ns=5_000.0, promote_threshold=3.0)
+    runtime.start()
+    hot = heap.allocate(4096, prefer_tier="cpuless-numa")
+    before = {}
+    after = {}
+
+    def workload():
+        start = env.now
+        yield from hot.read()
+        before["latency"] = env.now - start
+        before["tier"] = hot.tier
+        for _ in range(60):
+            yield from hot.read()
+            yield env.timeout(500.0)
+        host.mem.flush()   # defeat the cache: show the *placement* win
+        start = env.now
+        yield from hot.read()
+        after["latency"] = env.now - start
+        after["tier"] = hot.tier
+
+    proc = env.process(workload())
+    env.run(until=1_000_000_000, until_event=proc)
+    print("a hot object under the active heap:")
+    print(f"  first access : {before['latency']:8.1f} ns "
+          f"({before['tier']})")
+    print(f"  after warmup : {after['latency']:8.1f} ns "
+          f"({after['tier']}, {runtime.promotions} promotion(s))")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="UniFabric: Fabric-Centric Computing reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("info", help="fabric catalog + a default rack")
+    sub.add_parser("table2", help="quick Table 2 calibration check")
+    sub.add_parser("demo", help="one-minute heap/migration tour")
+    args = parser.parse_args(argv)
+    handler = {"info": cmd_info, "table2": cmd_table2,
+               "demo": cmd_demo}[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":   # pragma: no cover
+    sys.exit(main())

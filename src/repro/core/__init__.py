@@ -1,0 +1,119 @@
+"""The FCC core: the paper's four design principles plus UniFabric.
+
+* DP#1 — :mod:`repro.core.etrans` / :mod:`repro.core.movement`: data
+  movement as a managed service (elastic transactions, migration
+  agents, the central orchestrator, software prefetching);
+* DP#2 — :mod:`repro.core.heap`: the host-assisted node-type-conscious
+  unified heap with smart pointers and temperature-driven migration;
+* DP#3 — :mod:`repro.core.taskir` / :mod:`repro.core.idempotent` /
+  :mod:`repro.core.runtime` / :mod:`repro.core.functions`: idempotent
+  tasks and hardware cooperative scalable functions;
+* DP#4 — :mod:`repro.core.arbiter`: the fabric central arbitrator over
+  dedicated lanes;
+* :mod:`repro.core.unifabric` ties them together.
+"""
+
+from .arbiter import ArbiterClient, ArbiterError, FabricArbiter
+from .futures import DistributedFuture, FutureExecutor, gather
+from .memkind import (
+    MEMKIND_DEFAULT,
+    MEMKIND_FABRIC,
+    MEMKIND_FABRIC_COHERENT,
+    MEMKIND_FABRIC_NONCOHERENT,
+    MEMKIND_LOCAL,
+    MemkindAllocator,
+    MemoryKind,
+)
+from .replication import NodeReplicatedObject, ReplicaHandle
+from .reliability import (
+    CentralMemoryManager,
+    ProtectedRegion,
+    ReliabilityError,
+    Shard,
+    ShardState,
+)
+from .etrans import (
+    ElasticTransactionEngine,
+    ETrans,
+    ETransHandle,
+    OWNERSHIP_MODES,
+)
+from .functions import (
+    FunctionChassis,
+    FunctionContext,
+    HandlerResult,
+    Message,
+    ScalableFunction,
+    migrate_function,
+)
+from .heap import (
+    AccessProfiler,
+    FreeList,
+    HeapError,
+    HeapObject,
+    HeapRuntime,
+    MemoryBin,
+    SmartPointer,
+    UnifiedHeap,
+)
+from .idempotent import IdempotentRegion, IdempotentTask, find_regions, is_idempotent
+from .movement import MigrationAgent, MovementOrchestrator, SequentialPrefetcher
+from .runtime import FailureInjector, InjectedFailure, TaskResult, TaskRuntime
+from .taskir import Op, OpKind, Task
+from .unifabric import UniFabric
+
+__all__ = [
+    "ArbiterClient",
+    "ArbiterError",
+    "FabricArbiter",
+    "DistributedFuture",
+    "FutureExecutor",
+    "gather",
+    "MEMKIND_DEFAULT",
+    "MEMKIND_FABRIC",
+    "MEMKIND_FABRIC_COHERENT",
+    "MEMKIND_FABRIC_NONCOHERENT",
+    "MEMKIND_LOCAL",
+    "MemkindAllocator",
+    "MemoryKind",
+    "NodeReplicatedObject",
+    "ReplicaHandle",
+    "CentralMemoryManager",
+    "ProtectedRegion",
+    "ReliabilityError",
+    "Shard",
+    "ShardState",
+    "ElasticTransactionEngine",
+    "ETrans",
+    "ETransHandle",
+    "OWNERSHIP_MODES",
+    "FunctionChassis",
+    "FunctionContext",
+    "migrate_function",
+    "HandlerResult",
+    "Message",
+    "ScalableFunction",
+    "AccessProfiler",
+    "FreeList",
+    "HeapError",
+    "HeapObject",
+    "HeapRuntime",
+    "MemoryBin",
+    "SmartPointer",
+    "UnifiedHeap",
+    "IdempotentRegion",
+    "IdempotentTask",
+    "find_regions",
+    "is_idempotent",
+    "MigrationAgent",
+    "MovementOrchestrator",
+    "SequentialPrefetcher",
+    "FailureInjector",
+    "InjectedFailure",
+    "TaskResult",
+    "TaskRuntime",
+    "Op",
+    "OpKind",
+    "Task",
+    "UniFabric",
+]

@@ -1,0 +1,165 @@
+"""The fabric central arbitrator (design principle #4).
+
+An in-band centralized arbiter for bandwidth allocation, congestion
+control, and flow scheduling, reachable over the *dedicated control
+lanes* of the link layer (so arbiter traffic never queues behind data).
+It exposes the programmable interface the paper asks for — query,
+reserve, and reclaim credits — to the application layer via
+:class:`ArbiterClient`, enabling compute-fabric co-design.
+
+The arbiter manipulates two switch-side mechanisms:
+
+* per-flow credit budgets at contended egress ports
+  (:class:`~repro.pcie.credits.CreditDomain` with a
+  :class:`~repro.pcie.credits.ReservationPolicy`), rebalanced
+  immediately on reserve/reclaim instead of on a timer;
+* flow priorities for :class:`~repro.pcie.arbitration.PriorityScheduler`
+  egress ports: a reservation returns a priority level the client
+  stamps into its packets' metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from ..fabric.flit import Channel, Packet, PacketKind
+from ..fabric.transaction import TransactionPort
+from ..pcie.credits import CreditDomain, ReservationPolicy
+from ..sim import Environment, Event
+
+__all__ = ["FabricArbiter", "ArbiterClient", "ArbiterError"]
+
+
+class ArbiterError(Exception):
+    """A control-plane request the arbiter refused."""
+
+
+class FabricArbiter:
+    """The central arbiter service behind one fabric endpoint."""
+
+    def __init__(self, env: Environment, port: TransactionPort,
+                 name: str = "arbiter") -> None:
+        self.env = env
+        self.port = port
+        self.name = name
+        self._domains: Dict[str, CreditDomain] = {}
+        self._policies: Dict[str, ReservationPolicy] = {}
+        self._priorities: Dict[str, Dict[str, int]] = {}
+        self._next_priority: Dict[str, int] = {}
+        self.control_messages = 0
+        port.serve(self._handle, concurrency=4)
+
+    # -- domain registry (configuration time) ------------------------------
+
+    def manage(self, key: str, domain: CreditDomain) -> None:
+        """Take over a credit domain: swap in a reservation policy."""
+        if key in self._domains:
+            raise ValueError(f"domain {key!r} already managed")
+        policy = ReservationPolicy()
+        domain.policy = policy
+        domain.rebalance_now()
+        self._domains[key] = domain
+        self._policies[key] = policy
+        self._priorities[key] = {}
+        self._next_priority[key] = 1
+
+    def managed_domains(self):
+        return sorted(self._domains)
+
+    # -- the in-band control protocol ------------------------------------------
+
+    def _handle(self, request: Packet
+                ) -> Generator[Event, None, Optional[Packet]]:
+        yield self.env.timeout(5.0)  # arbiter decision logic
+        self.control_messages += 1
+        response = request.make_response()
+        if request.kind is not PacketKind.CTRL_REQ:
+            response.meta["error"] = "not a control request"
+            return response
+        op = request.meta.get("op")
+        try:
+            response.meta.update(self._dispatch(op, request.meta))
+        except (ArbiterError, KeyError) as exc:
+            response.meta["error"] = str(exc)
+        return response
+
+    def _dispatch(self, op: Optional[str], meta: dict) -> dict:
+        if op == "query":
+            domain = self._domains[meta["domain"]]
+            return {"grants": {flow: domain.granted(flow)
+                               for flow in domain.flow_names()},
+                    "budget": domain.budget}
+        if op == "reserve":
+            return self._reserve(meta["domain"], meta["flow"],
+                                 int(meta["credits"]))
+        if op == "reclaim":
+            return self._reclaim(meta["domain"], meta["flow"])
+        raise ArbiterError(f"unknown op {op!r}")
+
+    def _reserve(self, key: str, flow: str, credits: int) -> dict:
+        domain = self._domains[key]
+        policy = self._policies[key]
+        if credits < 1:
+            raise ArbiterError(f"cannot reserve {credits} credits")
+        committed = sum(policy.reservations.get(f, 0)
+                        for f in policy.reservations if f != flow)
+        if committed + credits > domain.budget:
+            raise ArbiterError(
+                f"budget exceeded: {committed} committed of "
+                f"{domain.budget}, {credits} requested")
+        if flow not in domain.flow_names():
+            domain.register(flow)
+        policy.reserve(flow, credits)
+        domain.rebalance_now()
+        priority = self._priorities[key].get(flow)
+        if priority is None:
+            priority = self._next_priority[key]
+            self._next_priority[key] += 1
+            self._priorities[key][flow] = priority
+        return {"granted": credits, "prio": priority}
+
+    def _reclaim(self, key: str, flow: str) -> dict:
+        domain = self._domains[key]
+        policy = self._policies[key]
+        policy.reclaim(flow)
+        self._priorities[key].pop(flow, None)
+        domain.rebalance_now()
+        return {"reclaimed": True}
+
+
+class ArbiterClient:
+    """Host-side stub: query/reserve/reclaim over the control lane."""
+
+    def __init__(self, env: Environment, port: TransactionPort,
+                 arbiter_id: int) -> None:
+        self.env = env
+        self.port = port
+        self.arbiter_id = arbiter_id
+
+    def _call(self, meta: dict) -> Generator[Event, None, dict]:
+        packet = Packet(kind=PacketKind.CTRL_REQ, channel=Channel.CONTROL,
+                        src=self.port.port_id, dst=self.arbiter_id,
+                        nbytes=0, meta=meta)
+        response = yield from self.port.request(packet)
+        if "error" in response.meta:
+            raise ArbiterError(response.meta["error"])
+        return response.meta
+
+    def query(self, domain: str) -> Generator[Event, None, dict]:
+        return (yield from self._call({"op": "query", "domain": domain}))
+
+    def reserve(self, domain: str, flow: str,
+                credits: int) -> Generator[Event, None, dict]:
+        """Reserve credits; returns {'granted': n, 'prio': p}.
+
+        Stamp ``p`` into ``packet.meta['prio']`` on subsequent data
+        packets to ride the reservation through priority-scheduled
+        egress ports.
+        """
+        return (yield from self._call({"op": "reserve", "domain": domain,
+                                       "flow": flow, "credits": credits}))
+
+    def reclaim(self, domain: str,
+                flow: str) -> Generator[Event, None, dict]:
+        return (yield from self._call({"op": "reclaim", "domain": domain,
+                                       "flow": flow}))

@@ -1,0 +1,200 @@
+"""Elastic transactions: the UniFabric data-movement primitive (DP#1).
+
+Section 5's sketch: ``eTrans(src_addr_list, dst_addr_list,
+immediate_bit, attributes, ownership)``.  The elastic transaction
+decouples the *initiator* (whoever wants the data moved) from the
+*executor* (whoever actually issues the loads/stores):
+
+* ``immediate=True`` — executed synchronously by the initiating core,
+  for latency-sensitive movement tightly coupled to execution;
+* ``immediate=False`` — delegated to a migration agent in the same
+  memory domain and orchestrated by the central movement service
+  (:mod:`repro.core.movement`), which enforces control-plane policies
+  such as remote-bandwidth throttling.
+
+``ownership`` captures how completion is handled (the paper points at
+distributed futures): ``"caller"`` gets a waitable handle, ``"agent"``
+fires an optional callback, ``"silent"`` is fire-and-forget.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Callable, Generator, List, Optional, Sequence, Tuple
+
+from .. import params
+from ..sim import Environment, Event
+
+__all__ = ["Extent", "ETrans", "ETransHandle", "ElasticTransactionEngine",
+           "OWNERSHIP_MODES"]
+
+OWNERSHIP_MODES = ("caller", "agent", "silent")
+
+#: (address, nbytes) — addresses are host-physical for the owning host.
+Extent = Tuple[int, int]
+
+_etrans_ids = itertools.count()
+
+
+@dataclasses.dataclass
+class ETrans:
+    """One elastic transaction."""
+
+    src_list: Sequence[Extent]
+    dst_list: Sequence[Extent]
+    immediate: bool = False
+    attributes: dict = dataclasses.field(default_factory=dict)
+    ownership: str = "caller"
+    callback: Optional[Callable[["ETrans"], None]] = None
+    uid: int = dataclasses.field(default_factory=lambda: next(_etrans_ids))
+    submitted_ns: float = 0.0
+    completed_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.ownership not in OWNERSHIP_MODES:
+            raise ValueError(f"ownership must be one of {OWNERSHIP_MODES}, "
+                             f"got {self.ownership!r}")
+        if not self.src_list or not self.dst_list:
+            raise ValueError("src_list and dst_list must be non-empty")
+        if self.total_src_bytes != self.total_dst_bytes:
+            raise ValueError(
+                f"source bytes ({self.total_src_bytes}) != destination "
+                f"bytes ({self.total_dst_bytes})")
+        for addr, nbytes in list(self.src_list) + list(self.dst_list):
+            if nbytes <= 0:
+                raise ValueError(f"extent ({addr:#x}, {nbytes}) is empty")
+
+    @property
+    def total_src_bytes(self) -> int:
+        return sum(n for _, n in self.src_list)
+
+    @property
+    def total_dst_bytes(self) -> int:
+        return sum(n for _, n in self.dst_list)
+
+    @property
+    def priority(self) -> int:
+        """Lower value = more urgent (used by the agent queue)."""
+        return int(self.attributes.get("priority", 10))
+
+
+class ETransHandle:
+    """Completion handle returned to ``ownership="caller"`` initiators."""
+
+    def __init__(self, env: Environment, trans: ETrans) -> None:
+        self.env = env
+        self.trans = trans
+        self.done = env.event()
+
+    def wait(self) -> Event:
+        return self.done
+
+    @property
+    def completed(self) -> bool:
+        return self.done.triggered
+
+    @property
+    def latency_ns(self) -> float:
+        if not self.completed:
+            raise RuntimeError("transaction still in flight")
+        return self.trans.completed_ns - self.trans.submitted_ns
+
+
+class ElasticTransactionEngine:
+    """Per-host front end of the movement service.
+
+    Owns the host's synchronous execution path and hands asynchronous
+    transactions to the orchestrator's agent for this memory domain.
+    """
+
+    def __init__(self, env: Environment, host, orchestrator,
+                 chunk_bytes: int = 4096) -> None:
+        if chunk_bytes < params.CACHELINE_BYTES:
+            raise ValueError("chunk must be at least one cacheline")
+        self.env = env
+        self.host = host
+        self.orchestrator = orchestrator
+        self.chunk_bytes = chunk_bytes
+        self.immediate_count = 0
+        self.delegated_count = 0
+
+    def submit(self, trans: ETrans) -> Optional[ETransHandle]:
+        """Submit; returns a handle iff ``ownership == "caller"``."""
+        trans.submitted_ns = self.env.now
+        handle = ETransHandle(self.env, trans) \
+            if trans.ownership == "caller" else None
+        if trans.immediate:
+            self.immediate_count += 1
+            self.env.process(self._execute_immediate(trans, handle),
+                             name=f"etrans{trans.uid}.imm")
+        else:
+            self.delegated_count += 1
+            self.orchestrator.enqueue(self.host, trans, handle)
+        return handle
+
+    def execute(self, trans: ETrans) -> Generator[Event, None, None]:
+        """Synchronously run a transaction from this host (agent core).
+
+        Copies extent by extent in ``chunk_bytes`` units: each chunk is
+        a read of the source followed by a write of the destination,
+        both through the host's memory hierarchy — so locality in
+        either endpoint transparently accelerates the move.
+        """
+        for (src, dst, nbytes) in _paired_extents(trans.src_list,
+                                                  trans.dst_list):
+            offset = 0
+            while offset < nbytes:
+                chunk = min(self.chunk_bytes, nbytes - offset)
+                yield from self.orchestrator.admit(self.host, chunk)
+                yield from self.host.mem.access(src + offset, False, chunk)
+                yield from self.host.mem.access(dst + offset, True, chunk)
+                self.orchestrator.account(self.host, src + offset,
+                                          dst + offset, chunk)
+                offset += chunk
+        trans.completed_ns = self.env.now
+
+    def _execute_immediate(self, trans: ETrans,
+                           handle: Optional[ETransHandle]
+                           ) -> Generator[Event, None, None]:
+        yield from self.execute(trans)
+        _finish(trans, handle)
+
+
+def _paired_extents(src_list: Sequence[Extent], dst_list: Sequence[Extent]
+                    ) -> List[Tuple[int, int, int]]:
+    """Zip scattered source extents onto scattered destinations.
+
+    Returns (src_addr, dst_addr, nbytes) runs covering both lists.
+    """
+    pairs = []
+    src_iter = [(a, n) for a, n in src_list]
+    dst_iter = [(a, n) for a, n in dst_list]
+    si = di = 0
+    src_addr, src_left = src_iter[0]
+    dst_addr, dst_left = dst_iter[0]
+    while True:
+        run = min(src_left, dst_left)
+        pairs.append((src_addr, dst_addr, run))
+        src_addr += run
+        dst_addr += run
+        src_left -= run
+        dst_left -= run
+        if src_left == 0:
+            si += 1
+            if si >= len(src_iter):
+                break
+            src_addr, src_left = src_iter[si]
+        if dst_left == 0:
+            di += 1
+            if di >= len(dst_iter):
+                break
+            dst_addr, dst_left = dst_iter[di]
+    return pairs
+
+
+def _finish(trans: ETrans, handle: Optional[ETransHandle]) -> None:
+    if handle is not None:
+        handle.done.succeed(trans)
+    if trans.ownership == "agent" and trans.callback is not None:
+        trans.callback(trans)

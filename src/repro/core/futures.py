@@ -1,0 +1,160 @@
+"""Distributed futures with ownership (the DP#4 programming abstraction).
+
+The paper: "FCC would incorporate a programmable interface with the
+control lane ... and expose it to the application layer via some
+programming abstraction (such as distributed futures), enabling
+compute-fabric co-design" — citing the Ownership system (NSDI '21).
+
+The key Ownership idea carried over: every future has a single *owner*
+(the submitting executor), which holds the completion metadata and is
+responsible for resolving it; values flow between executors only when
+a dependent actually needs them.
+
+Futures compose over anything the runtime can execute: plain
+generators, chained callbacks, and fan-in joins.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Generator, List, Optional
+
+from ..sim import Environment, Event
+
+__all__ = ["DistributedFuture", "FutureExecutor", "gather"]
+
+_future_ids = itertools.count()
+
+
+class DistributedFuture:
+    """A single-assignment value owned by one executor."""
+
+    def __init__(self, env: Environment, owner: str) -> None:
+        self.env = env
+        self.owner = owner
+        self.uid = next(_future_ids)
+        self._event = env.event()
+        # Defuse: a rejection with no waiter yet is a *deferred* error
+        # (surfaced by .value / .wait), not an unhandled simulation
+        # failure.  The no-op callback marks the event as observed.
+        self._event.callbacks.append(lambda _event: None)
+
+    # -- completion (owner side) -------------------------------------------
+
+    def resolve(self, value: Any = None) -> None:
+        self._event.succeed(value)
+
+    def reject(self, error: BaseException) -> None:
+        self._event.fail(error)
+
+    # -- consumption ----------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self._event.triggered
+
+    @property
+    def value(self) -> Any:
+        if not self.done:
+            raise RuntimeError(f"future {self.uid} not resolved yet")
+        if not self._event.ok:
+            raise self._event.value
+        return self._event.value
+
+    def wait(self) -> Event:
+        """Yieldable: ``value = yield future.wait()``."""
+        return self._event
+
+    def then(self, fn: Callable[[Any], Any],
+             executor: Optional["FutureExecutor"] = None
+             ) -> "DistributedFuture":
+        """Chain a transformation; returns the downstream future.
+
+        The continuation runs on ``executor`` (default: the owner's),
+        so ownership transfers exactly as in the Ownership model: the
+        caller of ``then`` owns the derived future.
+        """
+        target = executor or self._home
+        if target is None:
+            raise RuntimeError("future has no executor to chain on")
+        downstream = DistributedFuture(self.env, owner=target.name)
+        downstream._home = target
+
+        def continuation() -> Generator[Event, None, None]:
+            try:
+                upstream_value = yield self._event
+                result = fn(upstream_value)
+                if isinstance(result, DistributedFuture):
+                    result = yield result.wait()
+                downstream.resolve(result)
+            except Exception as error:   # propagate rejection downstream
+                downstream.reject(error)
+
+        self.env.process(continuation(),
+                         name=f"future{downstream.uid}.then")
+        return downstream
+
+    _home: Optional["FutureExecutor"] = None
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "pending"
+        return f"<DistributedFuture {self.uid} owner={self.owner} {state}>"
+
+
+class FutureExecutor:
+    """Submits work and owns the futures it creates."""
+
+    def __init__(self, env: Environment, name: str = "executor") -> None:
+        self.env = env
+        self.name = name
+        self.submitted = 0
+
+    def submit(self, work: Generator[Event, None, Any]
+               ) -> DistributedFuture:
+        """Run a generator as a process; the future resolves with its
+        return value (or rejects with its exception)."""
+        future = DistributedFuture(self.env, owner=self.name)
+        future._home = self
+        self.submitted += 1
+
+        def runner() -> Generator[Event, None, None]:
+            process = self.env.process(work,
+                                       name=f"future{future.uid}.work")
+            try:
+                value = yield process
+            except Exception as error:
+                future.reject(error)
+            else:
+                future.resolve(value)
+
+        self.env.process(runner(), name=f"future{future.uid}.own")
+        return future
+
+    def value(self, constant: Any) -> DistributedFuture:
+        """An already-resolved future."""
+        future = DistributedFuture(self.env, owner=self.name)
+        future._home = self
+        future.resolve(constant)
+        return future
+
+
+def gather(env: Environment,
+           futures: List[DistributedFuture]) -> DistributedFuture:
+    """Fan-in: resolves with the list of values, in submission order."""
+    owner = futures[0].owner if futures else "gather"
+    joined = DistributedFuture(env, owner=owner)
+    if futures:
+        joined._home = futures[0]._home
+
+    def joiner() -> Generator[Event, None, None]:
+        values = []
+        try:
+            for future in futures:
+                values.append((yield future.wait()))
+        except Exception as error:
+            joined.reject(error)
+        else:
+            joined.resolve(values)
+
+    env.process(joiner(), name=f"future{joined.uid}.gather")
+    return joined

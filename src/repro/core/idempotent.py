@@ -1,0 +1,113 @@
+"""Idempotence analysis: cut tasks into re-executable regions (DP#3).
+
+The key idea (de Kruijf & Sankaralingam's idempotent processors, which
+the paper extends to composable infrastructures): a code region is
+idempotent iff it contains no *clobber anti-dependence* — a write to a
+location whose **live-in** value an earlier op in the region read.
+Such a region can be re-executed from its start any number of times
+without changing the outcome, which is exactly the recovery story FCC
+wants for passive failure domains: no checkpoints, just replay.
+
+``find_regions`` performs the greedy maximal cut: scan ops tracking the
+live-in read set; when a write would clobber a live-in, end the region
+*before* that write.  Writes make their lines region-local, so
+subsequent reads of them are not live-ins.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Set
+
+from .taskir import Op, OpKind, Task
+
+__all__ = ["IdempotentRegion", "IdempotentTask", "find_regions",
+           "is_idempotent"]
+
+
+@dataclasses.dataclass(frozen=True)
+class IdempotentRegion:
+    """A contiguous slice of a task that may be replayed safely."""
+
+    index: int
+    start: int            # index of first op within the task
+    ops: tuple            # the ops themselves
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+def is_idempotent(ops) -> bool:
+    """True iff the op sequence has no clobber anti-dependence."""
+    live_in_reads: Set[int] = set()
+    written: Set[int] = set()
+    for op in ops:
+        lines = op.lines()
+        if op.kind is OpKind.READ:
+            live_in_reads |= (lines - written)
+        elif op.kind is OpKind.WRITE:
+            if lines & live_in_reads:
+                return False
+            written |= lines
+    return True
+
+
+def find_regions(task: Task) -> List[IdempotentRegion]:
+    """Greedy maximal idempotent-region cut of a task."""
+    regions: List[IdempotentRegion] = []
+    current: List[Op] = []
+    start = 0
+    live_in_reads: Set[int] = set()
+    written: Set[int] = set()
+
+    def emit(next_start: int) -> None:
+        nonlocal current, start, live_in_reads, written
+        if current:
+            regions.append(IdempotentRegion(index=len(regions),
+                                            start=start,
+                                            ops=tuple(current)))
+        current = []
+        start = next_start
+        live_in_reads = set()
+        written = set()
+
+    for position, op in enumerate(task.ops):
+        lines = op.lines()
+        if op.kind is OpKind.WRITE and lines & live_in_reads:
+            # This write clobbers a live-in: cut before it.
+            emit(position)
+        current.append(op)
+        if op.kind is OpKind.READ:
+            live_in_reads |= (lines - written)
+        elif op.kind is OpKind.WRITE:
+            written |= lines
+    emit(len(task.ops))
+    return regions
+
+
+class IdempotentTask:
+    """A task packaged with its region decomposition."""
+
+    def __init__(self, task: Task) -> None:
+        self.task = task
+        self.regions = find_regions(task)
+        for region in self.regions:
+            assert is_idempotent(region.ops), \
+                f"region {region.index} of {task.name!r} is not idempotent"
+
+    @property
+    def name(self) -> str:
+        return self.task.name
+
+    @property
+    def region_count(self) -> int:
+        return len(self.regions)
+
+    @property
+    def max_replay_ops(self) -> int:
+        """Worst-case ops re-executed by one failure (largest region)."""
+        return max((len(r) for r in self.regions), default=0)
+
+    def __repr__(self) -> str:
+        return (f"<IdempotentTask {self.name!r}: {len(self.task)} ops in "
+                f"{self.region_count} regions>")

@@ -1,0 +1,119 @@
+"""A memkind-style allocation API over the unified heap.
+
+Section 5: "UniFabric will extend the existing MemKind library to
+incorporate different kinds of memory nodes and expose an active
+heap.  One can reuse existing data structures and port unmodified
+applications using compatible programming interfaces."
+
+This module is that compatibility veneer: the classic
+``kind_malloc`` / ``kind_free`` shape, with *kinds* mapping onto
+unified-heap tiers.  Ported code keeps its allocation call sites; the
+active heap underneath still profiles and migrates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from .heap import HeapError, SmartPointer, UnifiedHeap
+
+__all__ = ["MemoryKind", "MemkindAllocator",
+           "MEMKIND_DEFAULT", "MEMKIND_LOCAL", "MEMKIND_FABRIC",
+           "MEMKIND_FABRIC_COHERENT", "MEMKIND_FABRIC_NONCOHERENT"]
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryKind:
+    """A named allocation policy (the memkind ``kind``)."""
+
+    name: str
+    prefer_tier: Optional[str]     # unified-heap tier, None = any
+    pinned: bool = False           # exempt from migration
+
+    def __repr__(self) -> str:
+        return f"<MemoryKind {self.name}>"
+
+
+#: The stock kinds.  ``MEMKIND_DEFAULT`` lets the active heap place
+#: (and later migrate) freely; the others pin the initial tier choice.
+MEMKIND_DEFAULT = MemoryKind("memkind_default", prefer_tier=None)
+MEMKIND_LOCAL = MemoryKind("memkind_local", prefer_tier="local")
+MEMKIND_FABRIC = MemoryKind("memkind_fabric",
+                            prefer_tier="cpuless-numa")
+MEMKIND_FABRIC_COHERENT = MemoryKind("memkind_fabric_coherent",
+                                     prefer_tier="cc-numa")
+MEMKIND_FABRIC_NONCOHERENT = MemoryKind("memkind_fabric_noncoherent",
+                                        prefer_tier="noncc-numa")
+
+
+class MemkindAllocator:
+    """``kind_malloc``/``kind_free`` over a :class:`UnifiedHeap`."""
+
+    def __init__(self, heap: UnifiedHeap) -> None:
+        self.heap = heap
+        self._kinds: Dict[str, MemoryKind] = {}
+        self._allocated: Dict[int, str] = {}   # oid -> kind name
+        for kind in (MEMKIND_DEFAULT, MEMKIND_LOCAL, MEMKIND_FABRIC,
+                     MEMKIND_FABRIC_COHERENT,
+                     MEMKIND_FABRIC_NONCOHERENT):
+            self._kinds[kind.name] = kind
+        self.bytes_by_kind: Dict[str, int] = {}
+
+    # -- kind registry -----------------------------------------------------
+
+    def create_kind(self, name: str, prefer_tier: Optional[str],
+                    pinned: bool = False) -> MemoryKind:
+        """Register a custom kind (memkind's PMEM-style user kinds)."""
+        if name in self._kinds:
+            raise ValueError(f"kind {name!r} already exists")
+        kind = MemoryKind(name, prefer_tier=prefer_tier, pinned=pinned)
+        self._kinds[name] = kind
+        return kind
+
+    def kinds(self) -> List[MemoryKind]:
+        return list(self._kinds.values())
+
+    # -- the classic API ----------------------------------------------------
+
+    def kind_malloc(self, kind: MemoryKind, size: int) -> SmartPointer:
+        """Allocate ``size`` bytes under ``kind``'s placement policy."""
+        if kind.name not in self._kinds:
+            raise ValueError(f"unregistered kind {kind!r}")
+        pointer = self.heap.allocate(size, prefer_tier=kind.prefer_tier,
+                                     pinned=kind.pinned)
+        self._allocated[pointer.oid] = kind.name
+        self.bytes_by_kind[kind.name] = \
+            self.bytes_by_kind.get(kind.name, 0) + pointer.size
+        return pointer
+
+    def kind_calloc(self, kind: MemoryKind, count: int,
+                    size: int) -> SmartPointer:
+        return self.kind_malloc(kind, count * size)
+
+    def kind_free(self, kind: Optional[MemoryKind],
+                  pointer: SmartPointer) -> None:
+        """Free; ``kind=None`` auto-detects (memkind_free(NULL, p))."""
+        recorded = self._allocated.pop(pointer.oid, None)
+        if recorded is None:
+            raise HeapError(f"pointer {pointer!r} not from this allocator")
+        if kind is not None and kind.name != recorded:
+            raise HeapError(
+                f"kind mismatch: allocated as {recorded!r}, freed as "
+                f"{kind.name!r}")
+        self.bytes_by_kind[recorded] -= pointer.size
+        self.heap.free(pointer)
+
+    def detect_kind(self, pointer: SmartPointer) -> MemoryKind:
+        """memkind_detect_kind: which kind owns this allocation."""
+        name = self._allocated.get(pointer.oid)
+        if name is None:
+            raise HeapError(f"pointer {pointer!r} not from this allocator")
+        return self._kinds[name]
+
+    def usable_size(self, pointer: SmartPointer) -> int:
+        return pointer.size
+
+    def stats(self) -> Dict[str, int]:
+        return {name: nbytes for name, nbytes
+                in sorted(self.bytes_by_kind.items()) if nbytes}

@@ -1,0 +1,306 @@
+"""Resource-frugal fault tolerance for passive failure domains.
+
+Section 3, difference #5: FAM/FAA chassis "stay in different power
+domains and can fail separately", their controllers have "little
+computing resources for failure handling", and "the fault-tolerant
+scheme should be resource-frugal and impact application performance
+little".  The paper points at Carbink's recipe for RDMA far memory:
+outsource management to a central memory manager and protect data with
+erasure coding plus remote compaction.
+
+This module ports that recipe onto the memory fabric:
+
+* :class:`ProtectedRegion` — a logical region striped over several FAM
+  chassis as ``k`` data shards + ``m`` parity shards (``m = 1`` is
+  RAID-5-style XOR parity; ``k = 1, m >= 1`` degenerates to
+  replication).  Reads hit one data shard; writes update the shard and
+  its parity (the frugal part: the *host* computes parity deltas, the
+  passive devices just store);
+* :class:`CentralMemoryManager` — the control-plane singleton: tracks
+  chassis health, fails regions over to degraded mode on a chassis
+  loss, drives reconstruction onto a spare, and keeps shard placement
+  balanced;
+* degraded reads reconstruct the lost shard from the survivors
+  (``k`` reads instead of one — visible as a latency cliff until
+  reconstruction completes).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Generator, List, Optional, Set
+
+from .. import params
+from ..sim import Environment, Event
+
+__all__ = ["ShardState", "Shard", "ProtectedRegion",
+           "CentralMemoryManager", "ReliabilityError"]
+
+
+class ReliabilityError(Exception):
+    """Data loss or misconfiguration the scheme cannot mask."""
+
+
+class ShardState(enum.Enum):
+    HEALTHY = "healthy"
+    LOST = "lost"                  # its chassis failed
+    REBUILDING = "rebuilding"      # reconstruction in progress
+
+
+@dataclasses.dataclass
+class Shard:
+    """One stripe shard resident on one FAM chassis."""
+
+    index: int                     # position in the stripe
+    chassis: str                   # FAM chassis name
+    base: int                      # host address of the shard
+    is_parity: bool
+    state: ShardState = ShardState.HEALTHY
+
+
+class ProtectedRegion:
+    """One erasure-coded far-memory region owned by one host.
+
+    The region presents a flat logical byte range of
+    ``k * shard_bytes``; logical offset ``o`` lives in data shard
+    ``o // shard_bytes``.  With ``m = 1`` parity the region survives
+    any single chassis failure.
+    """
+
+    def __init__(self, env: Environment, host, name: str,
+                 data_shards: List[Shard], parity_shards: List[Shard],
+                 shard_bytes: int,
+                 parity_compute_ns: float = 30.0) -> None:
+        if not data_shards:
+            raise ReliabilityError("need at least one data shard")
+        if shard_bytes <= 0:
+            raise ValueError("shard_bytes must be positive")
+        chassis = [s.chassis for s in data_shards + parity_shards]
+        if len(set(chassis)) != len(chassis):
+            raise ReliabilityError(
+                "shards of one stripe must sit on distinct chassis "
+                "(a shared failure domain defeats the code)")
+        self.env = env
+        self.host = host
+        self.name = name
+        self.data_shards = list(data_shards)
+        self.parity_shards = list(parity_shards)
+        self.shard_bytes = shard_bytes
+        self.parity_compute_ns = parity_compute_ns
+        self.reads = 0
+        self.degraded_reads = 0
+        self.writes = 0
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        return len(self.data_shards) * self.shard_bytes
+
+    @property
+    def fault_tolerance(self) -> int:
+        return len(self.parity_shards)
+
+    def _locate(self, offset: int, nbytes: int) -> Shard:
+        if not 0 <= offset < self.size:
+            raise ReliabilityError(
+                f"offset {offset:#x} outside region of {self.size} bytes")
+        shard = self.data_shards[offset // self.shard_bytes]
+        if (offset % self.shard_bytes) + nbytes > self.shard_bytes:
+            raise ReliabilityError("access crosses a shard boundary")
+        return shard
+
+    def lost_shards(self) -> List[Shard]:
+        return [s for s in self.data_shards + self.parity_shards
+                if s.state is not ShardState.HEALTHY]
+
+    def survivors(self, excluding: Shard) -> List[Shard]:
+        return [s for s in self.data_shards + self.parity_shards
+                if s is not excluding and s.state is ShardState.HEALTHY]
+
+    # -- data path -----------------------------------------------------------
+
+    def read(self, offset: int,
+             nbytes: int = params.CACHELINE_BYTES
+             ) -> Generator[Event, None, str]:
+        """Read; returns "fast" or "degraded" depending on the path."""
+        shard = self._locate(offset, nbytes)
+        within = offset % self.shard_bytes
+        self.reads += 1
+        if shard.state is ShardState.HEALTHY:
+            yield from self.host.mem.access(shard.base + within, False,
+                                            nbytes)
+            return "fast"
+        # Degraded: reconstruct from every healthy shard in the stripe.
+        survivors = self.survivors(excluding=shard)
+        if len(survivors) < len(self.data_shards):
+            raise ReliabilityError(
+                f"{self.name}: {len(self.lost_shards())} shards lost, "
+                f"code tolerates {self.fault_tolerance}")
+        self.degraded_reads += 1
+        fetches = [self.env.process(
+            self._fetch(s.base + within, nbytes)) for s in survivors]
+        yield self.env.all_of(fetches)
+        yield self.env.timeout(self.parity_compute_ns)
+        return "degraded"
+
+    def _fetch(self, addr: int,
+               nbytes: int) -> Generator[Event, None, None]:
+        yield from self.host.mem.access(addr, False, nbytes)
+
+    def write(self, offset: int,
+              nbytes: int = params.CACHELINE_BYTES
+              ) -> Generator[Event, None, None]:
+        """Write-through with parity delta updates (read-modify-write)."""
+        shard = self._locate(offset, nbytes)
+        within = offset % self.shard_bytes
+        self.writes += 1
+        if shard.state is ShardState.HEALTHY:
+            # Read old data (for the delta), write new data.
+            yield from self.host.mem.access(shard.base + within, False,
+                                            nbytes)
+            yield from self.host.mem.access(shard.base + within, True,
+                                            nbytes)
+        for parity in self.parity_shards:
+            if parity.state is not ShardState.HEALTHY:
+                continue
+            yield self.env.timeout(self.parity_compute_ns)
+            yield from self.host.mem.access(parity.base + within, False,
+                                            nbytes)
+            yield from self.host.mem.access(parity.base + within, True,
+                                            nbytes)
+
+
+class CentralMemoryManager:
+    """The Carbink-style control plane over protected regions.
+
+    Resource-frugal by construction: the manager holds only metadata;
+    data-path work (parity math, reconstruction traffic) runs on hosts,
+    never on the passive device controllers.
+    """
+
+    def __init__(self, env: Environment,
+                 reconstruct_chunk: int = 4096) -> None:
+        self.env = env
+        self.reconstruct_chunk = reconstruct_chunk
+        self._regions: Dict[str, ProtectedRegion] = {}
+        self._chassis_health: Dict[str, bool] = {}
+        self._spares: Dict[str, List[int]] = {}   # chassis -> free bases
+        self.failovers = 0
+        self.reconstructions = 0
+
+    # -- registration ------------------------------------------------------
+
+    def register_chassis(self, name: str,
+                         spare_bases: Optional[List[int]] = None) -> None:
+        if name in self._chassis_health:
+            raise ValueError(f"chassis {name!r} already registered")
+        self._chassis_health[name] = True
+        self._spares[name] = list(spare_bases or [])
+
+    def create_region(self, host, name: str,
+                      placements: List[tuple],
+                      shard_bytes: int,
+                      parity: int = 1) -> ProtectedRegion:
+        """Create a region from (chassis, host_base) placements.
+
+        The last ``parity`` placements become parity shards.
+        """
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already exists")
+        if parity < 0 or parity >= len(placements):
+            raise ReliabilityError(
+                f"need 0 <= parity < shards, got {parity} of "
+                f"{len(placements)}")
+        for chassis, _ in placements:
+            if chassis not in self._chassis_health:
+                raise ReliabilityError(f"unknown chassis {chassis!r}")
+        data = [Shard(index=i, chassis=c, base=b, is_parity=False)
+                for i, (c, b) in enumerate(placements[:len(placements)
+                                                      - parity])]
+        parity_shards = [Shard(index=i, chassis=c, base=b, is_parity=True)
+                         for i, (c, b) in enumerate(
+                             placements[len(placements) - parity:])]
+        region = ProtectedRegion(self.env, host, name, data,
+                                 parity_shards, shard_bytes)
+        self._regions[name] = region
+        return region
+
+    def region(self, name: str) -> ProtectedRegion:
+        return self._regions[name]
+
+    # -- failure handling --------------------------------------------------
+
+    def chassis_failed(self, chassis: str) -> List[str]:
+        """Mark a chassis dead; returns the regions that lost shards."""
+        if chassis not in self._chassis_health:
+            raise ReliabilityError(f"unknown chassis {chassis!r}")
+        self._chassis_health[chassis] = False
+        affected = []
+        for region in self._regions.values():
+            for shard in region.data_shards + region.parity_shards:
+                if shard.chassis == chassis \
+                        and shard.state is ShardState.HEALTHY:
+                    shard.state = ShardState.LOST
+                    affected.append(region.name)
+                    self.failovers += 1
+        return sorted(set(affected))
+
+    def healthy_chassis(self) -> Set[str]:
+        return {c for c, ok in self._chassis_health.items() if ok}
+
+    def reconstruct(self, region_name: str
+                    ) -> Generator[Event, None, int]:
+        """Rebuild every lost shard of a region onto spare capacity.
+
+        Returns the number of shards rebuilt.  The rebuild streams
+        ``reconstruct_chunk`` at a time: read that chunk from every
+        survivor, recompute, write to the spare — all host-driven.
+        """
+        region = self._regions[region_name]
+        rebuilt = 0
+        for shard in region.lost_shards():
+            spare = self._find_spare(region)
+            if spare is None:
+                raise ReliabilityError(
+                    f"no spare capacity to rebuild {region_name}")
+            spare_chassis, spare_base = spare
+            shard.state = ShardState.REBUILDING
+            offset = 0
+            while offset < region.shard_bytes:
+                chunk = min(self.reconstruct_chunk,
+                            region.shard_bytes - offset)
+                fetches = [self.env.process(region._fetch(
+                    s.base + offset, chunk))
+                    for s in region.survivors(excluding=shard)]
+                yield self.env.all_of(fetches)
+                yield self.env.timeout(region.parity_compute_ns)
+                yield from region.host.mem.access(spare_base + offset,
+                                                  True, chunk)
+                offset += chunk
+            shard.chassis = spare_chassis
+            shard.base = spare_base
+            shard.state = ShardState.HEALTHY
+            rebuilt += 1
+            self.reconstructions += 1
+        return rebuilt
+
+    def _find_spare(self, region: ProtectedRegion) -> Optional[tuple]:
+        used = {s.chassis for s in region.data_shards
+                + region.parity_shards
+                if s.state is ShardState.HEALTHY}
+        for chassis in sorted(self.healthy_chassis() - used):
+            if self._spares.get(chassis):
+                return chassis, self._spares[chassis].pop()
+        return None
+
+    def describe(self) -> str:
+        lines = [f"central memory manager: {len(self._regions)} regions, "
+                 f"chassis {sorted(self._chassis_health)}"]
+        for name, region in self._regions.items():
+            states = [f"{s.chassis}:{s.state.value}"
+                      f"{'(P)' if s.is_parity else ''}"
+                      for s in region.data_shards + region.parity_shards]
+            lines.append(f"  {name}: {', '.join(states)}")
+        return "\n".join(lines)

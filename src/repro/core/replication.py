@@ -1,0 +1,167 @@
+"""Node replication over fabric memory (the DP#2 data-structure family).
+
+Section 4: "node replication is a powerful technique that transparently
+replicates data references across different NUMA regions ... which
+would benefit fabric-attached CC-NUMA memory nodes", and section 5
+promises "a list of new data structures specially optimized for
+certain fabric-attached memory nodes".  This module delivers that
+structure: an NR-style replicated object for read-mostly sharing
+across hosts.
+
+Design (following Black-box Concurrent Data Structures / NrOS):
+
+* the *authoritative state* is an **operation log** living in
+  fabric-attached memory (one heap object, appended under a log lock);
+* each host keeps a **local replica** plus a cursor into the log;
+* reads replay any unseen log entries into the local replica (usually
+  zero — one cheap remote tail check), then answer from local memory;
+* writes append to the shared log (one remote write) and apply locally.
+
+Against direct shared access, readers trade a ~64 B remote tail probe
+for full remote round trips on every operation — a large win when the
+read/write ratio is high, which the DP#2 benchmark family quantifies.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from .. import params
+from ..sim import Environment, Event, Resource
+from .heap import SmartPointer, UnifiedHeap
+
+__all__ = ["NodeReplicatedObject", "ReplicaHandle"]
+
+#: apply signature: (replica_state, operation) -> None (mutates state)
+ApplyFn = Callable[[Dict[str, Any], Any], None]
+
+LOG_ENTRY_BYTES = params.CACHELINE_BYTES
+
+
+@dataclasses.dataclass
+class _Replica:
+    host_name: str
+    state: Dict[str, Any]
+    cursor: int = 0           # log entries already applied
+    local_obj: Optional[SmartPointer] = None
+
+
+class ReplicaHandle:
+    """One host's view of a :class:`NodeReplicatedObject`."""
+
+    def __init__(self, parent: "NodeReplicatedObject",
+                 replica: _Replica, heap: UnifiedHeap) -> None:
+        self._parent = parent
+        self._replica = replica
+        self._heap = heap
+
+    def read(self, reader: Callable[[Dict[str, Any]], Any]
+             ) -> Generator[Event, None, Any]:
+        """Catch up on the log, then answer from the local replica."""
+        yield from self._parent._catch_up(self._replica, self._heap)
+        # The local replica access itself (one local line).
+        if self._replica.local_obj is not None:
+            yield from self._replica.local_obj.read(0)
+        return reader(self._replica.state)
+
+    def write(self, operation: Any) -> Generator[Event, None, None]:
+        """Append to the shared log and apply locally."""
+        yield from self._parent._append(self._replica, self._heap,
+                                        operation)
+
+
+class NodeReplicatedObject:
+    """An operation-log-replicated object shared by several hosts."""
+
+    def __init__(self, env: Environment, apply_fn: ApplyFn,
+                 initial_state: Optional[Dict[str, Any]] = None,
+                 log_capacity: int = 4096,
+                 name: str = "nr-object") -> None:
+        if log_capacity < 1:
+            raise ValueError("log_capacity must be >= 1")
+        self.env = env
+        self.apply_fn = apply_fn
+        self.name = name
+        self.log_capacity = log_capacity
+        self._initial_state = dict(initial_state or {})
+        self._log: List[Any] = []
+        self._log_obj: Optional[SmartPointer] = None
+        self._log_addr: Optional[int] = None
+        self._log_lock = Resource(env)
+        self._replicas: Dict[str, _Replica] = {}
+        self.log_appends = 0
+        self.entries_replayed = 0
+
+    # -- registration ------------------------------------------------------
+
+    def attach(self, heap: UnifiedHeap,
+               shared_tier: str) -> ReplicaHandle:
+        """Register one host's replica; the first call places the log.
+
+        ``heap`` is that host's unified heap; the log object is
+        allocated once, from the first host's heap, on the shared tier
+        (a CC-NUMA or expander node visible to every host at the same
+        offsets — the standard symmetric-mapping assumption).
+        """
+        host_name = heap.host.name
+        if host_name in self._replicas:
+            raise ValueError(f"host {host_name!r} already attached")
+        if self._log_obj is None:
+            self._log_obj = heap.allocate(
+                self.log_capacity * LOG_ENTRY_BYTES,
+                prefer_tier=shared_tier, pinned=True)
+            # Symmetric mapping: every host sees the shared node at the
+            # same host-physical offset (the default cluster layout).
+            self._log_addr = heap.object_of(self._log_obj).addr
+        replica = _Replica(host_name=host_name,
+                           state=dict(self._initial_state))
+        replica.local_obj = heap.allocate(
+            max(LOG_ENTRY_BYTES, 64), prefer_tier="local", pinned=True)
+        self._replicas[host_name] = replica
+        return ReplicaHandle(self, replica, heap)
+
+    @property
+    def log_length(self) -> int:
+        return len(self._log)
+
+    # -- log machinery ----------------------------------------------------------
+
+    def _append(self, replica: _Replica, heap: UnifiedHeap,
+                operation: Any) -> Generator[Event, None, None]:
+        with self._log_lock.request() as grant:
+            yield grant
+            yield from self._catch_up(replica, heap, locked=True)
+            if len(self._log) >= self.log_capacity:
+                raise RuntimeError(
+                    f"{self.name}: log full "
+                    f"({self.log_capacity} entries; GC not modelled)")
+            offset = len(self._log) * LOG_ENTRY_BYTES
+            # The remote append: one uncached cacheline store.
+            yield from self._log_access(heap, offset, True)
+            self._log.append(operation)
+            self.log_appends += 1
+            self.apply_fn(replica.state, operation)
+            replica.cursor = len(self._log)
+
+    def _catch_up(self, replica: _Replica, heap: UnifiedHeap,
+                  locked: bool = False) -> Generator[Event, None, None]:
+        """Replay unseen log entries into the replica."""
+        # The tail probe: one uncached remote read of the log head.
+        # Uncached (volatile) access is what makes a freshly appended
+        # tail visible — a write-back cached probe could go stale.
+        yield from self._log_access(heap, 0, False)
+        while replica.cursor < len(self._log):
+            offset = replica.cursor * LOG_ENTRY_BYTES
+            yield from self._log_access(heap, offset, False)
+            self.apply_fn(replica.state, self._log[replica.cursor])
+            replica.cursor += 1
+            self.entries_replayed += 1
+
+    def _log_access(self, heap: UnifiedHeap, offset: int,
+                    is_write: bool) -> Generator[Event, None, None]:
+        """One uncached fabric access to the shared log."""
+        addr = self._log_addr + offset
+        region = heap.host.address_map.resolve(addr)
+        yield from region.backend(addr - region.start,
+                                  LOG_ENTRY_BYTES, is_write)

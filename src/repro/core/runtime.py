@@ -1,0 +1,162 @@
+"""The split task runtime: execution, failure injection, recovery (DP#3).
+
+Modelled after the paper's "split runtime execution architecture —
+learned from the tasklet and top-half/bottom-half interrupt
+architecture of the OS kernel": the *top half* (dispatch, recovery
+policy) runs on the host; the *bottom half* (the ops) runs against host
+memory, the fabric, and FAAs.
+
+Failure injection models the passive failure domains of section 3:
+devices fail independently of hosts and have no resources for their
+own fault tolerance, so recovery must come from the execution model:
+
+* ``recovery="idempotent"`` — replay only the interrupted region
+  (correct because regions contain no clobber anti-dependences);
+* ``recovery="restart"`` — the baseline: replay the whole task.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Generator, Optional
+
+from ..fabric.flit import Channel, Packet, PacketKind
+from ..sim import Environment, Event, SimRng
+from .idempotent import IdempotentRegion, IdempotentTask
+from .taskir import Op, OpKind, Task
+
+__all__ = ["FailureInjector", "TaskResult", "TaskRuntime", "InjectedFailure"]
+
+
+class InjectedFailure(Exception):
+    """A simulated passive-domain failure during op execution."""
+
+
+class FailureInjector:
+    """Bernoulli per-op failures with a deterministic stream."""
+
+    def __init__(self, rate: float = 0.0,
+                 rng: Optional[SimRng] = None) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self.rng = rng or SimRng(0)
+        self.injected = 0
+
+    def fires(self) -> bool:
+        if self.rate and self.rng.bernoulli(self.rate):
+            self.injected += 1
+            return True
+        return False
+
+
+@dataclasses.dataclass
+class TaskResult:
+    """What one task execution cost."""
+
+    name: str
+    completion_ns: float
+    useful_ops: int
+    replayed_ops: int
+    failures: int
+
+    @property
+    def total_ops(self) -> int:
+        return self.useful_ops + self.replayed_ops
+
+    @property
+    def waste_fraction(self) -> float:
+        total = self.total_ops
+        return self.replayed_ops / total if total else 0.0
+
+
+class TaskRuntime:
+    """Executes (idempotent) tasks for one host over the cluster."""
+
+    def __init__(self, env: Environment, host,
+                 injector: Optional[FailureInjector] = None,
+                 recovery: str = "idempotent",
+                 faa_ids: Optional[Dict[str, int]] = None,
+                 dispatch_ns: float = 30.0) -> None:
+        if recovery not in ("idempotent", "restart"):
+            raise ValueError(f"unknown recovery mode {recovery!r}")
+        self.env = env
+        self.host = host
+        self.injector = injector or FailureInjector()
+        self.recovery = recovery
+        self.faa_ids = dict(faa_ids or {})
+        self.dispatch_ns = dispatch_ns
+        self.tasks_completed = 0
+
+    # -- execution -----------------------------------------------------------
+
+    def execute(self, task) -> Generator[Event, None, TaskResult]:
+        """Run a task to completion, recovering from injected failures."""
+        idem = task if isinstance(task, IdempotentTask) \
+            else IdempotentTask(task)
+        start = self.env.now
+        useful = 0
+        replayed = 0
+        failures = 0
+        if self.recovery == "idempotent":
+            for region in idem.regions:
+                done, lost, fails = yield from self._run_region(region)
+                useful += done
+                replayed += lost
+                failures += fails
+        else:
+            whole = IdempotentRegion(index=0, start=0,
+                                     ops=tuple(idem.task.ops))
+            done, lost, fails = yield from self._run_region(whole)
+            useful += done
+            replayed += lost
+            failures += fails
+        self.tasks_completed += 1
+        return TaskResult(name=idem.name,
+                          completion_ns=self.env.now - start,
+                          useful_ops=useful, replayed_ops=replayed,
+                          failures=failures)
+
+    def _run_region(self, region: IdempotentRegion
+                    ) -> Generator[Event, None, tuple]:
+        """Execute one region, replaying it until it completes."""
+        replayed = 0
+        failures = 0
+        while True:
+            yield self.env.timeout(self.dispatch_ns)  # top-half dispatch
+            completed = 0
+            failed = False
+            for op in region.ops:
+                if self.injector.fires():
+                    failures += 1
+                    replayed += completed
+                    failed = True
+                    break
+                yield from self._run_op(op)
+                completed += 1
+            if not failed:
+                return len(region.ops), replayed, failures
+
+    def _run_op(self, op: Op) -> Generator[Event, None, None]:
+        if op.kind is OpKind.READ:
+            yield from self.host.mem.access(op.addr, False, op.nbytes)
+        elif op.kind is OpKind.WRITE:
+            yield from self.host.mem.access(op.addr, True, op.nbytes)
+        elif op.kind is OpKind.COMPUTE:
+            yield self.env.timeout(op.duration_ns)
+        elif op.kind is OpKind.CALL:
+            yield from self._call_accelerator(op)
+        else:  # pragma: no cover - enum is closed
+            raise ValueError(f"unknown op kind {op.kind}")
+
+    def _call_accelerator(self, op: Op) -> Generator[Event, None, None]:
+        if not self.faa_ids:
+            # No FAA attached: model the call as local compute.
+            yield self.env.timeout(op.duration_ns)
+            return
+        target = op.accelerator or next(iter(self.faa_ids))
+        dst = self.faa_ids[target]
+        packet = Packet(kind=PacketKind.IO_WR, channel=Channel.CXL_IO,
+                        src=self.host.port.port_id, dst=dst, nbytes=64,
+                        meta={"kernel": op.kernel})
+        yield from self.host.port.request(packet)

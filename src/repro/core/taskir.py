@@ -1,0 +1,107 @@
+"""A small task IR for the idempotent-task compilation framework (DP#3).
+
+FCC needs "a new compilation framework to identify idempotent code
+regions and encapsulate them as idempotent tasks".  Since there is no
+real compiler front end here, programs are expressed in a minimal IR of
+memory reads/writes, compute blocks, and accelerator calls — enough
+structure for the idempotence analysis in
+:mod:`repro.core.idempotent` to find clobber anti-dependences and cut
+regions, and for the split runtime to execute and re-execute them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import FrozenSet, List, Optional
+
+from .. import params
+
+__all__ = ["OpKind", "Op", "Task"]
+
+
+class OpKind(enum.Enum):
+    READ = "read"          # load from a heap/host address
+    WRITE = "write"        # store to a heap/host address
+    COMPUTE = "compute"    # pure computation for duration_ns
+    CALL = "call"          # invoke an FAA kernel (stateless)
+
+
+@dataclasses.dataclass(frozen=True)
+class Op:
+    """One IR operation."""
+
+    kind: OpKind
+    addr: int = 0
+    nbytes: int = params.CACHELINE_BYTES
+    duration_ns: float = 0.0
+    kernel: Optional[str] = None
+    accelerator: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind in (OpKind.READ, OpKind.WRITE) and self.nbytes <= 0:
+            raise ValueError("memory ops need nbytes > 0")
+        if self.kind is OpKind.COMPUTE and self.duration_ns < 0:
+            raise ValueError("compute duration must be >= 0")
+        if self.kind is OpKind.CALL and not self.kernel:
+            raise ValueError("call ops need a kernel name")
+
+    def lines(self, line_bytes: int = params.CACHELINE_BYTES
+              ) -> FrozenSet[int]:
+        """The cache lines this op touches (empty for compute/call)."""
+        if self.kind not in (OpKind.READ, OpKind.WRITE):
+            return frozenset()
+        first = self.addr // line_bytes
+        last = (self.addr + self.nbytes - 1) // line_bytes
+        return frozenset(range(first, last + 1))
+
+
+class Task:
+    """A straight-line program of IR ops, built fluently::
+
+        task = (Task("checksum")
+                .read(0x1000).read(0x1040)
+                .compute(50.0)
+                .write(0x2000))
+    """
+
+    def __init__(self, name: str, ops: Optional[List[Op]] = None) -> None:
+        self.name = name
+        self.ops: List[Op] = list(ops or [])
+
+    # -- fluent builders -------------------------------------------------
+
+    def read(self, addr: int,
+             nbytes: int = params.CACHELINE_BYTES) -> "Task":
+        self.ops.append(Op(OpKind.READ, addr=addr, nbytes=nbytes))
+        return self
+
+    def write(self, addr: int,
+              nbytes: int = params.CACHELINE_BYTES) -> "Task":
+        self.ops.append(Op(OpKind.WRITE, addr=addr, nbytes=nbytes))
+        return self
+
+    def compute(self, duration_ns: float) -> "Task":
+        self.ops.append(Op(OpKind.COMPUTE, duration_ns=duration_ns))
+        return self
+
+    def call(self, kernel: str, accelerator: Optional[str] = None,
+             duration_ns: float = 0.0) -> "Task":
+        self.ops.append(Op(OpKind.CALL, kernel=kernel,
+                           accelerator=accelerator,
+                           duration_ns=duration_ns))
+        return self
+
+    # -- queries ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def reads(self) -> List[Op]:
+        return [op for op in self.ops if op.kind is OpKind.READ]
+
+    def writes(self) -> List[Op]:
+        return [op for op in self.ops if op.kind is OpKind.WRITE]
+
+    def __repr__(self) -> str:
+        return f"<Task {self.name!r}, {len(self.ops)} ops>"

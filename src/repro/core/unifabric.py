@@ -1,0 +1,131 @@
+"""UniFabric: the intermediate system stack of section 5, assembled.
+
+One object wires the four design principles over a built cluster:
+
+1. the elastic transaction engine + movement orchestrator (DP#1);
+2. a unified heap per host with profiling and migration (DP#2);
+3. the idempotent-task runtime factory (DP#3) — scalable functions are
+   attached per-FAA via :class:`~repro.core.functions.FunctionChassis`;
+4. optionally, a fabric central arbiter on dedicated control lanes
+   (DP#4), with per-host clients.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..infra.cluster import Cluster
+from ..pcie.switch import PortRole
+from ..sim import Environment
+from .arbiter import ArbiterClient, FabricArbiter
+from .etrans import ElasticTransactionEngine
+from .heap import AccessProfiler, HeapRuntime, UnifiedHeap
+from .movement import MovementOrchestrator, SequentialPrefetcher
+from .runtime import FailureInjector, TaskRuntime
+
+__all__ = ["UniFabric"]
+
+
+class UniFabric:
+    """The distributed runtime layered over a composable cluster."""
+
+    def __init__(self, env: Environment, cluster: Cluster,
+                 remote_bw_bytes_per_us: Optional[float] = None,
+                 local_heap_bytes: int = 64 << 20,
+                 local_heap_offset: int = 16 << 20,
+                 with_arbiter: bool = False,
+                 heap_interval_ns: float = 20_000.0) -> None:
+        self.env = env
+        self.cluster = cluster
+        self.orchestrator = MovementOrchestrator(
+            env, remote_bw_bytes_per_us=remote_bw_bytes_per_us)
+        self._engines: Dict[str, ElasticTransactionEngine] = {}
+        self._heaps: Dict[str, UnifiedHeap] = {}
+        self._heap_runtimes: Dict[str, HeapRuntime] = {}
+        self.arbiter: Optional[FabricArbiter] = None
+        self._arbiter_clients: Dict[str, ArbiterClient] = {}
+
+        for host in cluster.hosts.values():
+            engine = self.orchestrator.attach_host(host)
+            self._engines[host.name] = engine
+            heap = UnifiedHeap(env, host, engine,
+                               profiler=AccessProfiler(env))
+            local_name = f"{host.name}.local"
+            heap.add_bin(local_name, start=local_heap_offset,
+                         size=local_heap_bytes, tier="local",
+                         is_remote=False)
+            for fam_name, fam in cluster.fams.items():
+                region = host.remote_region(fam_name)
+                tier = fam.modules[0].kind.value
+                heap.add_bin(fam_name, start=region.start,
+                             size=min(region.size, fam.capacity_bytes),
+                             tier=tier, is_remote=True)
+            self._heaps[host.name] = heap
+            runtime = HeapRuntime(env, heap, local_bin=local_name,
+                                  interval_ns=heap_interval_ns)
+            self._heap_runtimes[host.name] = runtime
+
+        if with_arbiter:
+            self._install_arbiter()
+
+    # -- arbiter ------------------------------------------------------------
+
+    def _install_arbiter(self) -> None:
+        topology = self.cluster.topology
+        topology.add_endpoint("arbiter")
+        port = topology.connect_endpoint("sw0", "arbiter",
+                                         role=PortRole.DOWNSTREAM,
+                                         control_lane=True)
+        self.cluster.manager.configure()
+        self.arbiter = FabricArbiter(self.env, port)
+        arbiter_id = topology.endpoints["arbiter"].global_id
+        for host in self.cluster.hosts.values():
+            self._arbiter_clients[host.name] = ArbiterClient(
+                self.env, host.port, arbiter_id)
+
+    def arbiter_client(self, host_name: str = "host0") -> ArbiterClient:
+        if self.arbiter is None:
+            raise RuntimeError("UniFabric built without an arbiter "
+                               "(pass with_arbiter=True)")
+        return self._arbiter_clients[host_name]
+
+    # -- per-host services -------------------------------------------------------
+
+    def engine(self, host_name: str = "host0") -> ElasticTransactionEngine:
+        return self._engines[host_name]
+
+    def heap(self, host_name: str = "host0") -> UnifiedHeap:
+        return self._heaps[host_name]
+
+    def heap_runtime(self, host_name: str = "host0") -> HeapRuntime:
+        return self._heap_runtimes[host_name]
+
+    def start_heap_runtimes(self) -> None:
+        for runtime in self._heap_runtimes.values():
+            runtime.start()
+
+    def task_runtime(self, host_name: str = "host0",
+                     recovery: str = "idempotent",
+                     injector: Optional[FailureInjector] = None
+                     ) -> TaskRuntime:
+        host = self.cluster.hosts[host_name]
+        faa_ids = {name: self.cluster.endpoint_id(name)
+                   for name in self.cluster.faas}
+        return TaskRuntime(self.env, host, injector=injector,
+                           recovery=recovery, faa_ids=faa_ids)
+
+    def prefetcher(self, host_name: str = "host0",
+                   depth: int = 8) -> SequentialPrefetcher:
+        host = self.cluster.hosts[host_name]
+        return SequentialPrefetcher(self.env, host, depth=depth)
+
+    def describe(self) -> str:
+        lines = ["UniFabric runtime",
+                 f"  hosts: {sorted(self._heaps)}",
+                 f"  arbiter: {'yes' if self.arbiter else 'no'}",
+                 f"  bytes moved: {self.orchestrator.bytes_moved}"]
+        for name, heap in self._heaps.items():
+            bins = ", ".join(f"{b.name}({b.tier})"
+                             for b in heap.bins.values())
+            lines.append(f"  {name} heap bins: {bins}")
+        return "\n".join(lines)

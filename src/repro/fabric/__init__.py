@@ -1,0 +1,41 @@
+"""CXL Flex Bus model: physical, link, and transaction layers.
+
+Mirrors Figure 1(a) of the paper: :mod:`repro.fabric.phys` handles
+framing and (de-)serialization, :mod:`repro.fabric.link` implements
+credit-based flow control and reliability, and
+:mod:`repro.fabric.transaction` provides the CXL.io / CXL.mem /
+CXL.cache channel semantics.  :mod:`repro.fabric.catalog` reproduces
+Table 1.
+"""
+
+from .catalog import CATALOG, FabricSpec, format_table1
+from .flit import (
+    Channel,
+    Flit,
+    Packet,
+    PacketKind,
+    Reassembler,
+    TagAllocator,
+    fragment,
+)
+from .link import LinkLayer
+from .phys import PhysicalLayer, bifurcate
+from .transaction import DEFAULT_VC_MAP, TransactionPort
+
+__all__ = [
+    "CATALOG",
+    "FabricSpec",
+    "format_table1",
+    "Channel",
+    "Flit",
+    "Packet",
+    "PacketKind",
+    "Reassembler",
+    "TagAllocator",
+    "fragment",
+    "LinkLayer",
+    "PhysicalLayer",
+    "bifurcate",
+    "DEFAULT_VC_MAP",
+    "TransactionPort",
+]

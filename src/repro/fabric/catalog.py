@@ -1,0 +1,77 @@
+"""Table 1 of the paper: the commodity memory-fabric catalog.
+
+Reproduced as structured data so benchmarks and docs can print the
+table, and so topology builders can label clusters with the fabric
+generation they model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+__all__ = ["FabricSpec", "CATALOG", "format_table1"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FabricSpec:
+    """One row of Table 1."""
+
+    interconnect: str
+    vendor: str
+    active_development: str
+    specifications: Tuple[str, ...]
+    product_demonstrations: Tuple[str, ...]
+    merged_into_cxl: bool = False
+
+
+CATALOG: List[FabricSpec] = [
+    FabricSpec(
+        interconnect="Gen-Z",
+        vendor="HPE/Gen-Z Consortium",
+        active_development="2016-2021",
+        specifications=("Gen-Z 1.0", "Gen-Z 1.1"),
+        product_demonstrations=("Gen-Z Media Kit",
+                                "Gen-Z ChipSet for ExtraScale Fabric"),
+        merged_into_cxl=True,
+    ),
+    FabricSpec(
+        interconnect="CAPI/OpenCAPI",
+        vendor="IBM/OpenCAPI Consortium",
+        active_development="2014-2022",
+        specifications=("CAPI 1.0", "CAPI 2.0", "OpenCAPI 3.0",
+                        "OpenCAPI 4.0"),
+        product_demonstrations=("BlueLink in POWER9",),
+        merged_into_cxl=True,
+    ),
+    FabricSpec(
+        interconnect="CCIX",
+        vendor="Xilinx/CCIX Consortium",
+        active_development="2016-now",
+        specifications=("CCIX 1.0", "CCIX 1.1", "CCIX 2.0"),
+        product_demonstrations=("CMN-700 Coherent Mesh Network",),
+    ),
+    FabricSpec(
+        interconnect="CXL",
+        vendor="Intel/CXL Consortium",
+        active_development="2019-now",
+        specifications=("CXL 1.0", "CXL 1.1", "CXL 2.0", "CXL 3.0"),
+        product_demonstrations=("Omega Fabric", "Leo Memory Platform"),
+    ),
+]
+
+
+def format_table1() -> str:
+    """Render the catalog in the paper's Table 1 layout."""
+    header = (f"{'Interconnect':<15} {'Vendor':<28} "
+              f"{'Active Dev':<12} {'Specs':<34} Demonstrations")
+    lines = [header, "-" * len(header)]
+    for spec in CATALOG:
+        lines.append(
+            f"{spec.interconnect:<15} {spec.vendor:<28} "
+            f"{spec.active_development:<12} "
+            f"{'/'.join(s.split()[-1] for s in spec.specifications):<34} "
+            f"{', '.join(spec.product_demonstrations)}")
+    merged = [s.interconnect for s in CATALOG if s.merged_into_cxl]
+    lines.append(f"(merged into CXL: {', '.join(merged)})")
+    return "\n".join(lines)

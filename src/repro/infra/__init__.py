@@ -1,0 +1,36 @@
+"""Composable-infrastructure components (Figure 1b of the paper).
+
+Hosts (:mod:`repro.infra.host`, :mod:`repro.infra.cpu`), adapters
+(:mod:`repro.infra.adapters`), FAM/FAA chassis
+(:mod:`repro.infra.chassis`), and the rack-level builder
+(:mod:`repro.infra.cluster`).
+"""
+
+from .adapters import FabricEndpointAdapter, FabricHostAdapter
+from .chassis import Accelerator, AcceleratorChassis, FamChassis
+from .cluster import (
+    Cluster,
+    ClusterSpec,
+    FaaSpec,
+    FamSpec,
+    build_cluster,
+)
+from .cpu import DEFAULT_ISSUE_NS, CpuCore
+from .host import HostServer, flat_dram_backend
+
+__all__ = [
+    "FabricEndpointAdapter",
+    "FabricHostAdapter",
+    "Accelerator",
+    "AcceleratorChassis",
+    "FamChassis",
+    "Cluster",
+    "ClusterSpec",
+    "FaaSpec",
+    "FamSpec",
+    "build_cluster",
+    "DEFAULT_ISSUE_NS",
+    "CpuCore",
+    "HostServer",
+    "flat_dram_backend",
+]

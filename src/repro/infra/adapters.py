@@ -1,0 +1,138 @@
+"""Fabric host adapters (FHA) and endpoint adapters (FEA).
+
+Figure 1(b) of the paper: the FHA sits at a host root port and converts
+channel requests into fabric flits; the FEA sits next to a remote
+device, parses flits and drives device-dependent primitives.  Both add
+a fixed protocol-processing latency and keep counters; the FEA also
+performs the integrity/steering duties the paper mentions (modelled as
+bounds checking and per-module steering in the chassis layer).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from .. import params
+from ..fabric.flit import Channel, Packet, PacketKind
+from ..fabric.transaction import TransactionPort
+from ..sim import Environment, Event
+
+__all__ = ["FabricHostAdapter", "FabricEndpointAdapter"]
+
+
+class FabricHostAdapter:
+    """The host-side adapter: turns memory accesses into fabric requests.
+
+    Provides region backends for the host's
+    :class:`~repro.mem.AddressMap` (loads/stores to remote FAM ranges)
+    and answers inbound CXL.cache snoops against the host's caches.
+    """
+
+    def __init__(self, env: Environment, port: TransactionPort,
+                 mem_system=None,
+                 processing_ns: float = params.FHA_PROCESSING_NS,
+                 name: str = "fha") -> None:
+        self.env = env
+        self.port = port
+        self.mem_system = mem_system
+        self.processing_ns = processing_ns
+        self.name = name
+        self.remote_reads = 0
+        self.remote_writes = 0
+        self.snoops_served = 0
+        self._region_bases: Dict[int, int] = {}
+        port.serve(self._handle, concurrency=4)
+
+    def register_region(self, device_id: int, host_base: int) -> None:
+        """Record where ``device_id``'s memory sits in host addresses.
+
+        Needed to translate inbound snoop addresses (device-relative)
+        back into the host physical addresses the caches are indexed by.
+        """
+        self._region_bases[device_id] = host_base
+
+    # -- outbound: the backend installed in the host address map ----------
+
+    def remote_backend(self, device_id: int):
+        """Backend callable for one remote region (device ``device_id``)."""
+
+        def backend(addr: int, nbytes: int,
+                    is_write: bool) -> Generator[Event, None, None]:
+            yield self.env.timeout(self.processing_ns)
+            kind = PacketKind.MEM_WR if is_write else PacketKind.MEM_RD
+            packet = Packet(kind=kind, channel=Channel.CXL_MEM,
+                            src=self.port.port_id, dst=device_id,
+                            addr=addr, nbytes=nbytes)
+            response = yield from self.port.request(packet)
+            if response.meta.get("fault"):
+                raise PermissionError(
+                    f"{self.name}: device {device_id} faulted access "
+                    f"to {addr:#x}")
+            if is_write:
+                self.remote_writes += 1
+            else:
+                self.remote_reads += 1
+
+        return backend
+
+    def evict_notice(self, device_id: int,
+                     addr: int) -> Generator[Event, None, None]:
+        """Tell a CC-NUMA home node this host dropped/flushed a line."""
+        packet = Packet(kind=PacketKind.MEM_WR, channel=Channel.CXL_MEM,
+                        src=self.port.port_id, dst=device_id, addr=addr,
+                        nbytes=params.CACHELINE_BYTES,
+                        meta={"evict": True})
+        yield from self.port.request(packet)
+
+    # -- inbound: snoops from CC-NUMA home nodes ---------------------------
+
+    def _handle(self, request: Packet
+                ) -> Generator[Event, None, Optional[Packet]]:
+        yield self.env.timeout(self.processing_ns)
+        if request.kind is PacketKind.SNP_INV:
+            self.snoops_served += 1
+            dirty = False
+            if self.mem_system is not None:
+                base = self._region_bases.get(request.src, 0)
+                dirty = self.mem_system.invalidate(base + request.addr)
+            response = request.make_response()
+            response.meta["was_dirty"] = dirty
+            if dirty:
+                # The dirty data rides back with the snoop response.
+                response.nbytes = params.CACHELINE_BYTES
+            return response
+        if request.kind in (PacketKind.IO_RD, PacketKind.IO_WR,
+                            PacketKind.MEM_RD, PacketKind.MEM_WR):
+            # A host does not serve memory; fault politely.
+            response = request.make_response(nbytes=0)
+            response.meta["fault"] = True
+            return response
+        return None
+
+
+class FabricEndpointAdapter:
+    """The device-side adapter fronting a FAM/FAA chassis.
+
+    Adds protocol processing latency and steers requests into the
+    chassis controller's handler.
+    """
+
+    def __init__(self, env: Environment, port: TransactionPort,
+                 device_handler,
+                 processing_ns: float = params.FEA_PROCESSING_NS,
+                 concurrency: int = 4,
+                 name: str = "fea") -> None:
+        self.env = env
+        self.port = port
+        self.processing_ns = processing_ns
+        self.name = name
+        self.requests_served = 0
+        self._device_handler = device_handler
+        port.serve(self._handle, concurrency=concurrency)
+
+    def _handle(self, request: Packet
+                ) -> Generator[Event, None, Optional[Packet]]:
+        yield self.env.timeout(self.processing_ns)
+        self.requests_served += 1
+        response = yield from self._device_handler(request)
+        return response

@@ -1,0 +1,156 @@
+"""FAM and FAA chassis: standalone boxes behind one endpoint adapter.
+
+Section 2.2: a FAM chassis encloses several memory modules plus a
+controller (the Omega testbed holds six CXL E3.S modules); an FAA
+chassis holds accelerators (GigaIO Fabrex: up to eight).  The
+controller steers requests to the right module/accelerator and is the
+natural place for the chassis-level concurrency limit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional
+
+from .. import params
+from ..fabric.flit import Packet, PacketKind
+from ..fabric.transaction import TransactionPort
+from ..mem.nodes import MemoryNode, NodeKind
+from ..sim import Environment, Event
+from .adapters import FabricEndpointAdapter
+
+__all__ = ["FamChassis", "AcceleratorChassis", "Accelerator"]
+
+
+class FamChassis:
+    """A fabric-attached memory chassis: modules + controller + FEA."""
+
+    def __init__(self, env: Environment, port: TransactionPort,
+                 modules: List[MemoryNode],
+                 name: str = "fam-chassis") -> None:
+        if not modules:
+            raise ValueError("a FAM chassis needs at least one module")
+        self.env = env
+        self.name = name
+        self.modules = list(modules)
+        self.port = port
+        self._module_capacity = modules[0].capacity_bytes
+        if any(m.capacity_bytes != self._module_capacity for m in modules):
+            raise ValueError("all modules in a chassis must be equal-sized")
+        # Coherent modules serialize their directory updates; plain
+        # expanders enjoy module-level parallelism.
+        coherent = any(m.kind is NodeKind.CC_NUMA for m in modules)
+        if coherent and len(modules) > 1:
+            # Snoop addresses must match host-visible offsets 1:1, so a
+            # coherent chassis holds exactly one module.
+            raise ValueError("a CC-NUMA chassis holds exactly one module")
+        self.fea = FabricEndpointAdapter(
+            env, port, self._controller,
+            concurrency=1 if coherent else max(8, 2 * len(modules)),
+            name=f"{name}.fea")
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._module_capacity * len(self.modules)
+
+    def module_of(self, addr: int) -> MemoryNode:
+        index = addr // self._module_capacity
+        if not 0 <= index < len(self.modules):
+            raise IndexError(f"address {addr:#x} beyond chassis capacity")
+        return self.modules[index]
+
+    def _controller(self, request: Packet
+                    ) -> Generator[Event, None, Optional[Packet]]:
+        """Steer the request to its module (FEA integrity duty)."""
+        try:
+            module = self.module_of(request.addr)
+        except IndexError:
+            response = request.make_response(nbytes=0)
+            response.meta["fault"] = True
+            return response
+        # Modules address locally within their slice.
+        offset = request.addr % self._module_capacity
+        steered = Packet(kind=request.kind, channel=request.channel,
+                         src=request.src, dst=request.dst, addr=offset,
+                         nbytes=request.nbytes, tag=request.tag,
+                         birth_ns=request.birth_ns, meta=request.meta)
+        response = yield from module.service(steered, self.port)
+        if response is not None:
+            response.addr = request.addr
+        return response
+
+
+class Accelerator:
+    """One fabric-attached accelerator: a registry of named kernels.
+
+    A kernel is ``fn(request) -> (compute_ns, result)``; the chassis
+    charges the compute time on the simulated clock and ships the
+    result back in the response metadata.
+    """
+
+    def __init__(self, env: Environment, name: str,
+                 setup_ns: float = 0.0) -> None:
+        self.env = env
+        self.name = name
+        self.setup_ns = setup_ns
+        self._kernels: Dict[str, Callable] = {}
+        self.invocations = 0
+
+    def register(self, kernel_name: str, fn: Callable) -> None:
+        if kernel_name in self._kernels:
+            raise ValueError(f"kernel {kernel_name!r} already registered")
+        self._kernels[kernel_name] = fn
+
+    def kernels(self) -> List[str]:
+        return sorted(self._kernels)
+
+    def invoke(self, request: Packet
+               ) -> Generator[Event, None, Optional[Packet]]:
+        kernel_name = request.meta.get("kernel")
+        fn = self._kernels.get(kernel_name)
+        response = request.make_response()
+        if fn is None:
+            response.meta["fault"] = True
+            response.meta["error"] = f"unknown kernel {kernel_name!r}"
+            return response
+        if self.setup_ns:
+            yield self.env.timeout(self.setup_ns)
+        compute_ns, result = fn(request)
+        if compute_ns > 0:
+            yield self.env.timeout(compute_ns)
+        self.invocations += 1
+        response.meta["result"] = result
+        return response
+
+
+class AcceleratorChassis:
+    """A fabric-attached accelerator chassis (FAA) behind one FEA."""
+
+    def __init__(self, env: Environment, port: TransactionPort,
+                 accelerators: List[Accelerator],
+                 name: str = "faa-chassis") -> None:
+        if not accelerators:
+            raise ValueError("an FAA chassis needs at least one accelerator")
+        self.env = env
+        self.name = name
+        self.accelerators = {a.name: a for a in accelerators}
+        if len(self.accelerators) != len(accelerators):
+            raise ValueError("accelerator names must be unique")
+        self.port = port
+        self.fea = FabricEndpointAdapter(
+            env, port, self._controller,
+            concurrency=len(accelerators), name=f"{name}.fea")
+
+    def _controller(self, request: Packet
+                    ) -> Generator[Event, None, Optional[Packet]]:
+        target = request.meta.get("accelerator")
+        accel = self.accelerators.get(target)
+        if accel is None and len(self.accelerators) == 1:
+            accel = next(iter(self.accelerators.values()))
+        if accel is None:
+            response = request.make_response(nbytes=0)
+            response.meta["fault"] = True
+            response.meta["error"] = f"no accelerator {target!r}"
+            yield self.env.timeout(0)
+            return response
+        response = yield from accel.invoke(request)
+        return response

@@ -1,0 +1,192 @@
+"""Cluster builder: assemble a composable rack in a few lines.
+
+Produces the architecture of Figure 1(b): host servers with FHAs,
+fabric switches managed by a central fabric manager, and FAM/FAA
+chassis behind FEAs.  The default shape is a single-switch star (the
+Omega testbed); multi-switch trees and multi-domain fabrics are built
+by passing explicit specs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from .. import params
+from ..mem.dram import DramDevice
+from ..mem.nodes import (
+    CcNumaNode,
+    CpulessExpander,
+    MemoryNode,
+    NodeKind,
+    NonCcNumaNode,
+)
+from ..pcie.manager import FabricManager
+from ..pcie.switch import PortRole
+from ..pcie.topology import Topology
+from ..sim import Environment, Tracer
+from .chassis import Accelerator, AcceleratorChassis, FamChassis
+from .host import HostServer
+
+__all__ = ["ClusterSpec", "FamSpec", "FaaSpec", "Cluster", "build_cluster"]
+
+
+@dataclasses.dataclass
+class FamSpec:
+    """One memory chassis to instantiate."""
+
+    name: str
+    kind: NodeKind = NodeKind.CPULESS_NUMA
+    capacity_bytes: int = 1 << 30
+    modules: int = 1
+    read_extra_ns: float = params.FAM_MEDIA_READ_NS
+    write_extra_ns: float = params.FAM_MEDIA_WRITE_NS
+    link_params: Optional[params.LinkParams] = None  # per-chassis link
+
+
+@dataclasses.dataclass
+class FaaSpec:
+    """One accelerator chassis to instantiate."""
+
+    name: str
+    accelerators: int = 1
+    setup_ns: float = 0.0
+
+
+@dataclasses.dataclass
+class ClusterSpec:
+    """The whole rack."""
+
+    hosts: int = 1
+    fams: Sequence[FamSpec] = dataclasses.field(
+        default_factory=lambda: [FamSpec(name="fam0")])
+    faas: Sequence[FaaSpec] = dataclasses.field(default_factory=list)
+    cores_per_host: int = 1
+    local_bytes: int = 1 << 30
+    scheduler: str = "fair"
+    link_params: Optional[params.LinkParams] = None
+    control_lane: bool = False
+    map_all_fams: bool = True
+    cache_configs: Optional[tuple] = None   # override host cache geometry
+
+
+class Cluster:
+    """A built rack: topology + hosts + chassis, ready to run."""
+
+    def __init__(self, env: Environment, topology: Topology,
+                 manager: FabricManager,
+                 hosts: Dict[str, HostServer],
+                 fams: Dict[str, FamChassis],
+                 faas: Dict[str, AcceleratorChassis]) -> None:
+        self.env = env
+        self.topology = topology
+        self.manager = manager
+        self.hosts = hosts
+        self.fams = fams
+        self.faas = faas
+
+    def host(self, index: int = 0) -> HostServer:
+        return self.hosts[f"host{index}"]
+
+    def fam(self, name_or_index=0) -> FamChassis:
+        if isinstance(name_or_index, int):
+            return self.fams[list(self.fams)[name_or_index]]
+        return self.fams[name_or_index]
+
+    def faa(self, name_or_index=0) -> AcceleratorChassis:
+        if isinstance(name_or_index, int):
+            return self.faas[list(self.faas)[name_or_index]]
+        return self.faas[name_or_index]
+
+    def endpoint_id(self, name: str) -> int:
+        return self.topology.endpoints[name].global_id
+
+    def describe(self) -> str:
+        lines = ["composable cluster"]
+        for host in self.hosts.values():
+            lines.append(host.describe())
+        for name, fam in self.fams.items():
+            module = fam.modules[0]
+            lines.append(f"FAM {name}: {len(fam.modules)} x "
+                         f"{module.capacity_bytes >> 20} MiB "
+                         f"({module.kind.value})")
+        for name, faa in self.faas.items():
+            lines.append(f"FAA {name}: "
+                         f"{sorted(faa.accelerators)} accelerators")
+        lines.append(self.topology.describe())
+        return "\n".join(lines)
+
+
+def _make_node(env: Environment, spec: FamSpec, index: int) -> MemoryNode:
+    module_capacity = spec.capacity_bytes // spec.modules
+    name = f"{spec.name}.mod{index}"
+    media = DramDevice(env, name=f"{name}.media")
+    common = dict(media=media, read_extra_ns=spec.read_extra_ns,
+                  write_extra_ns=spec.write_extra_ns, name=name)
+    if spec.kind is NodeKind.CPULESS_NUMA:
+        return CpulessExpander(env, module_capacity, **common)
+    if spec.kind is NodeKind.CC_NUMA:
+        return CcNumaNode(env, module_capacity, **common)
+    if spec.kind is NodeKind.NONCC_NUMA:
+        return NonCcNumaNode(env, module_capacity, **common)
+    raise ValueError(f"cannot build a chassis of kind {spec.kind}"
+                     " (COMA clusters are built via repro.mem.ComaCluster)")
+
+
+def build_cluster(env: Environment, spec: Optional[ClusterSpec] = None,
+                  tracer: Optional[Tracer] = None) -> Cluster:
+    """Build a star-topology composable rack from a spec."""
+    spec = spec or ClusterSpec()
+    if spec.hosts < 1:
+        raise ValueError("need at least one host")
+    topology = Topology(env, link_params=spec.link_params,
+                        scheduler=spec.scheduler, tracer=tracer)
+    topology.add_switch("sw0")
+
+    hosts: Dict[str, HostServer] = {}
+    for h in range(spec.hosts):
+        name = f"host{h}"
+        topology.add_endpoint(name)
+        port = topology.connect_endpoint(
+            "sw0", name, role=PortRole.UPSTREAM,
+            control_lane=spec.control_lane)
+        hosts[name] = HostServer(env, name, port,
+                                 local_bytes=spec.local_bytes,
+                                 cores=spec.cores_per_host,
+                                 cache_configs=spec.cache_configs)
+
+    fams: Dict[str, FamChassis] = {}
+    for fam_spec in spec.fams:
+        topology.add_endpoint(fam_spec.name)
+        port = topology.connect_endpoint(
+            "sw0", fam_spec.name, control_lane=spec.control_lane,
+            link_params=fam_spec.link_params)
+        if fam_spec.kind is NodeKind.CC_NUMA and fam_spec.modules != 1:
+            raise ValueError("CC-NUMA chassis must have exactly one module")
+        modules = [_make_node(env, fam_spec, i)
+                   for i in range(fam_spec.modules)]
+        fams[fam_spec.name] = FamChassis(env, port, modules,
+                                         name=fam_spec.name)
+
+    faas: Dict[str, AcceleratorChassis] = {}
+    for faa_spec in spec.faas:
+        topology.add_endpoint(faa_spec.name)
+        port = topology.connect_endpoint(
+            "sw0", faa_spec.name, control_lane=spec.control_lane)
+        accelerators = [
+            Accelerator(env, name=f"{faa_spec.name}.acc{i}",
+                        setup_ns=faa_spec.setup_ns)
+            for i in range(faa_spec.accelerators)]
+        faas[faa_spec.name] = AcceleratorChassis(env, port, accelerators,
+                                                 name=faa_spec.name)
+
+    manager = FabricManager(topology)
+    manager.configure()
+
+    if spec.map_all_fams:
+        for host in hosts.values():
+            for fam_name, fam in fams.items():
+                device_id = topology.endpoints[fam_name].global_id
+                host.map_remote(fam_name, device_id, fam.capacity_bytes)
+
+    return Cluster(env, topology, manager, hosts, fams, faas)

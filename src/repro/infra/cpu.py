@@ -1,0 +1,76 @@
+"""The host CPU core model: synchronous loads/stores with limited MLP.
+
+Section 3, difference #1: memory-fabric requests are generated
+transparently by the memory hierarchy and the pipeline stalls until
+they answer, so "the throughput of a memory fabric that a core can
+drive depends on its channel bandwidth capacity and the depth of the
+CPU pipeline".  The model is exactly that: a front end that issues one
+memory op per ``issue_ns``, and a window of ``window`` outstanding ops
+(the LSQ/MSHR budget).  Throughput is therefore
+``min(1/issue_ns, window/latency)`` — the formula the Table 2 MOPS
+calibration in EXPERIMENTS.md is built on.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Iterable, Optional, Tuple
+
+from ..sim import Environment, Event, Resource, StatSeries
+
+__all__ = ["CpuCore", "DEFAULT_ISSUE_NS"]
+
+#: Front-end issue interval fitted to Table 2's L1 row:
+#: 1 / 357.4 MOPS = 2.8 ns per op.
+DEFAULT_ISSUE_NS = 1e3 / 357.4
+
+
+class CpuCore:
+    """One core driving a :class:`~repro.mem.HostMemorySystem`."""
+
+    def __init__(self, env: Environment, mem,
+                 issue_ns: float = DEFAULT_ISSUE_NS,
+                 window: int = 4,
+                 name: str = "core") -> None:
+        if issue_ns <= 0:
+            raise ValueError(f"issue_ns must be > 0, got {issue_ns}")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.env = env
+        self.mem = mem
+        self.issue_ns = issue_ns
+        self.window = window
+        self.name = name
+        self.ops_retired = 0
+
+    def run(self, trace: Iterable[Tuple[int, bool]],
+            window: Optional[int] = None,
+            latencies: Optional[StatSeries] = None
+            ) -> Generator[Event, None, StatSeries]:
+        """Execute a trace of ``(addr, is_write)`` ops; returns latencies.
+
+        The generator completes when every op has retired.  ``window``
+        overrides the core's default outstanding-op budget (benchmarks
+        use this to calibrate per-level MLP).
+        """
+        stats = latencies if latencies is not None \
+            else StatSeries(f"{self.name}.lat")
+        slots = Resource(self.env, capacity=window or self.window)
+        inflight = []
+        for addr, is_write in trace:
+            yield self.env.timeout(self.issue_ns)
+            request = slots.request()
+            yield request
+            inflight.append(self.env.process(
+                self._one_op(addr, is_write, slots, request, stats),
+                name=f"{self.name}.op"))
+        if inflight:
+            yield self.env.all_of(inflight)
+        return stats
+
+    def _one_op(self, addr: int, is_write: bool, slots: Resource,
+                request, stats: StatSeries) -> Generator[Event, None, None]:
+        start = self.env.now
+        yield from self.mem.access(addr, is_write)
+        stats.add(self.env.now - start, time=self.env.now)
+        self.ops_retired += 1
+        slots.release(request)

@@ -1,0 +1,163 @@
+"""A host server: cores + cache hierarchy + local DIMMs + FHA.
+
+The host side of Figure 1(b).  The address map is laid out as
+``[0, local_size)`` for local DIMMs, followed by one region per mapped
+FAM chassis — mirroring how CXL HDM decoders splice device memory into
+the host physical address space.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from .. import params
+from ..fabric.transaction import TransactionPort
+from ..mem.hierarchy import AddressMap, HostMemorySystem, Region
+from ..sim import Environment, Event
+from .adapters import FabricHostAdapter
+from .cpu import CpuCore
+
+__all__ = ["HostServer", "flat_dram_backend"]
+
+
+def flat_dram_backend(env: Environment,
+                      read_ns: float = params.LOCAL_MEM_READ_NS,
+                      write_ns: float = params.LOCAL_MEM_WRITE_NS):
+    """Local-DIMM backend charging Table 2's calibrated flat latencies."""
+
+    def backend(addr: int, nbytes: int,
+                is_write: bool) -> Generator[Event, None, None]:
+        lines = max(1, -(-nbytes // params.CACHELINE_BYTES))
+        base = write_ns if is_write else read_ns
+        # Additional lines stream at DRAM bus rate.
+        yield env.timeout(base + (lines - 1) * params.DRAM_BUS_NS_PER_CACHELINE)
+
+    return backend
+
+
+class HostServer:
+    """One server: cores, hierarchy, local DRAM, and a fabric port."""
+
+    def __init__(self, env: Environment, name: str,
+                 port: TransactionPort,
+                 local_bytes: int = 1 << 30,
+                 cores: int = 1,
+                 cache_configs=None) -> None:
+        if cores < 1:
+            raise ValueError(f"cores must be >= 1, got {cores}")
+        self.env = env
+        self.name = name
+        self.local_bytes = local_bytes
+        self.address_map = AddressMap()
+        self.address_map.add(Region(
+            start=0, size=local_bytes, name=f"{name}.dram",
+            backend=flat_dram_backend(env)))
+        self.mem = HostMemorySystem(env, self.address_map,
+                                    cache_configs=cache_configs,
+                                    name=f"{name}.mem")
+        self.fha = FabricHostAdapter(env, port, mem_system=self.mem,
+                                     name=f"{name}.fha")
+        self.cores: List[CpuCore] = [
+            CpuCore(env, self.mem, name=f"{name}.core{i}")
+            for i in range(cores)]
+        self._remote_regions: Dict[str, Region] = {}
+
+    @property
+    def port(self) -> TransactionPort:
+        return self.fha.port
+
+    # -- mapping remote memory -------------------------------------------
+
+    def map_remote(self, chassis_name: str, device_id: int,
+                   size: int) -> Region:
+        """Splice a FAM chassis into this host's address space."""
+        if chassis_name in self._remote_regions:
+            raise ValueError(f"{chassis_name!r} already mapped")
+        start = self.address_map.span
+        region = Region(start=start, size=size,
+                        name=chassis_name,
+                        backend=self.fha.remote_backend(device_id),
+                        is_remote=True)
+        self.address_map.add(region)
+        self.fha.register_region(device_id, start)
+        self._remote_regions[chassis_name] = region
+        return region
+
+    def map_interleaved(self, region_name: str,
+                        targets: List[tuple],
+                        size: int,
+                        granularity: int = 4096) -> Region:
+        """Stripe one region across several FAM chassis (HDM interleave).
+
+        ``targets`` is a list of ``(chassis_name, device_id)``; chunk
+        ``i`` of ``granularity`` bytes lands on target ``i % n``.  Like
+        CXL's HDM interleaving, this aggregates bandwidth: a streaming
+        scan drives all chassis (and their switch ports) in parallel.
+        """
+        if region_name in self._remote_regions:
+            raise ValueError(f"{region_name!r} already mapped")
+        if not targets:
+            raise ValueError("need at least one interleave target")
+        if granularity < params.CACHELINE_BYTES:
+            raise ValueError("granularity below one cacheline")
+        backends = [self.fha.remote_backend(device_id)
+                    for _, device_id in targets]
+        ways = len(targets)
+
+        def interleaved_backend(addr: int, nbytes: int,
+                                is_write: bool
+                                ) -> Generator[Event, None, None]:
+            # Split the access at granularity boundaries and issue the
+            # pieces to their chassis concurrently.
+            pieces = []
+            offset = 0
+            while offset < nbytes:
+                piece_addr = addr + offset
+                chunk_index = piece_addr // granularity
+                way = chunk_index % ways
+                within = piece_addr % granularity
+                take = min(granularity - within, nbytes - offset)
+                # Device-local address: collapse the stripe.
+                local = (chunk_index // ways) * granularity + within
+                pieces.append((way, local, take))
+                offset += take
+            if len(pieces) == 1:
+                way, local, take = pieces[0]
+                yield from backends[way](local, take, is_write)
+                return
+            fetches = [self.env.process(
+                _piece(backends[way], local, take, is_write))
+                for way, local, take in pieces]
+            yield self.env.all_of(fetches)
+
+        def _piece(backend, local, take, is_write):
+            yield from backend(local, take, is_write)
+
+        start = self.address_map.span
+        region = Region(start=start, size=size, name=region_name,
+                        backend=interleaved_backend, is_remote=True)
+        self.address_map.add(region)
+        for _, device_id in targets:
+            self.fha.register_region(device_id, start)
+        self._remote_regions[region_name] = region
+        return region
+
+    def remote_region(self, chassis_name: str) -> Region:
+        return self._remote_regions[chassis_name]
+
+    def remote_base(self, chassis_name: str) -> int:
+        return self._remote_regions[chassis_name].start
+
+    # -- convenience ------------------------------------------------------
+
+    def core(self, index: int = 0) -> CpuCore:
+        return self.cores[index]
+
+    def describe(self) -> str:
+        lines = [f"host {self.name}: {len(self.cores)} cores, "
+                 f"{self.local_bytes >> 20} MiB local DRAM"]
+        for region in self.address_map.regions():
+            kind = "remote" if region.is_remote else "local"
+            lines.append(f"  [{region.start:#014x}, {region.end:#014x}) "
+                         f"{kind:<6} {region.name}")
+        return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Memory devices and hierarchy: caches, DRAM, the four node types.
+
+Implements section 3's difference #2 — the "eclectic memory nodes" a
+memory fabric brings back: the CPU-less NUMA expander, the CC-NUMA node
+with directory coherence, the non-CC NUMA node, and the COMA attraction
+memory — plus the host-side cache hierarchy that transparently
+accelerates them (difference #1).
+"""
+
+from .cache import AccessResult, CacheConfig, SetAssociativeCache, VictimBuffer
+from .coherence import (
+    CoherenceError,
+    Directory,
+    DirectoryEntry,
+    LineState,
+    SnoopAction,
+)
+from .coma import ComaCluster, ComaError, ComaStats
+from .dram import DramDevice
+from .hierarchy import AddressMap, HostMemorySystem, Region, default_cache_configs
+from .nodes import (
+    AccessFault,
+    CcNumaNode,
+    CpulessExpander,
+    MemoryNode,
+    NodeKind,
+    NonCcNumaNode,
+)
+
+__all__ = [
+    "AccessResult",
+    "CacheConfig",
+    "SetAssociativeCache",
+    "VictimBuffer",
+    "CoherenceError",
+    "Directory",
+    "DirectoryEntry",
+    "LineState",
+    "SnoopAction",
+    "ComaCluster",
+    "ComaError",
+    "ComaStats",
+    "DramDevice",
+    "AddressMap",
+    "HostMemorySystem",
+    "Region",
+    "default_cache_configs",
+    "AccessFault",
+    "CcNumaNode",
+    "CpulessExpander",
+    "MemoryNode",
+    "NodeKind",
+    "NonCcNumaNode",
+]

@@ -1,0 +1,154 @@
+"""Directory-based write-invalidate coherence (for CC-NUMA nodes).
+
+The fabric-attached CC-NUMA node (section 3, difference #2) keeps a
+directory in its endpoint adapter and runs a cross-node MESI-style
+write-invalidate protocol, as in DASH/FLASH.  The directory here is a
+pure data structure: ``begin_access`` returns the snoop actions the
+node must perform over the fabric, and ``complete_access`` commits the
+new sharing state once they are done.  Keeping protocol state separate
+from the discrete-event machinery makes the protocol unit-testable and
+lets hypothesis hammer its invariants.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, FrozenSet, List, Optional, Set
+
+__all__ = ["LineState", "DirectoryEntry", "SnoopAction", "Directory",
+           "CoherenceError"]
+
+
+class CoherenceError(Exception):
+    """Protocol invariant violation (a bug, not a modelled condition)."""
+
+
+class LineState(enum.Enum):
+    UNCACHED = "I"       # no remote copies; memory is the only holder
+    SHARED = "S"         # one or more read-only copies
+    EXCLUSIVE = "M"      # exactly one writable (possibly dirty) copy
+
+
+@dataclasses.dataclass
+class DirectoryEntry:
+    state: LineState = LineState.UNCACHED
+    sharers: Set[int] = dataclasses.field(default_factory=set)
+    owner: Optional[int] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class SnoopAction:
+    """What the node must do on the fabric before serving a request.
+
+    ``invalidate`` — hosts whose copies must be invalidated;
+    ``writeback_from`` — the exclusive owner whose dirty data must be
+    fetched first (None if memory is current).
+    """
+
+    invalidate: FrozenSet[int]
+    writeback_from: Optional[int]
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.invalidate and self.writeback_from is None
+
+
+class Directory:
+    """Per-line sharing state for one CC-NUMA home node."""
+
+    def __init__(self, line_bytes: int = 64) -> None:
+        if line_bytes <= 0:
+            raise ValueError(f"line_bytes must be > 0, got {line_bytes}")
+        self.line_bytes = line_bytes
+        self._entries: Dict[int, DirectoryEntry] = {}
+        self.invalidations_sent = 0
+        self.writebacks_forced = 0
+
+    def _line(self, addr: int) -> int:
+        return addr // self.line_bytes
+
+    def entry(self, addr: int) -> DirectoryEntry:
+        return self._entries.setdefault(self._line(addr), DirectoryEntry())
+
+    def state_of(self, addr: int) -> LineState:
+        return self.entry(addr).state
+
+    def sharers_of(self, addr: int) -> Set[int]:
+        return set(self.entry(addr).sharers)
+
+    # -- protocol ---------------------------------------------------------
+
+    def begin_access(self, addr: int, requester: int,
+                     is_write: bool) -> SnoopAction:
+        """Compute the snoops needed before ``requester`` may proceed."""
+        entry = self.entry(addr)
+        if entry.state is LineState.UNCACHED:
+            return SnoopAction(frozenset(), None)
+        if entry.state is LineState.SHARED:
+            if not is_write:
+                return SnoopAction(frozenset(), None)
+            victims = frozenset(entry.sharers - {requester})
+            self.invalidations_sent += len(victims)
+            return SnoopAction(victims, None)
+        # EXCLUSIVE
+        if entry.owner is None:
+            raise CoherenceError(f"line {self._line(addr)} exclusive "
+                                 "without an owner")
+        if entry.owner == requester:
+            return SnoopAction(frozenset(), None)
+        self.writebacks_forced += 1
+        if is_write:
+            self.invalidations_sent += 1
+            return SnoopAction(frozenset({entry.owner}), entry.owner)
+        return SnoopAction(frozenset(), entry.owner)
+
+    def complete_access(self, addr: int, requester: int,
+                        is_write: bool) -> None:
+        """Commit the new sharing state after the snoops finished."""
+        entry = self.entry(addr)
+        if is_write:
+            entry.state = LineState.EXCLUSIVE
+            entry.owner = requester
+            entry.sharers = {requester}
+        else:
+            if entry.state is LineState.EXCLUSIVE \
+                    and entry.owner != requester:
+                # Owner was downgraded by the forced writeback.
+                entry.sharers = {entry.owner, requester}
+            else:
+                entry.sharers.add(requester)
+            entry.state = LineState.SHARED
+            entry.owner = None
+
+    def evict(self, addr: int, holder: int) -> None:
+        """A host silently dropped its copy (capacity eviction)."""
+        entry = self.entry(addr)
+        entry.sharers.discard(holder)
+        if entry.owner == holder:
+            entry.owner = None
+            entry.state = (LineState.SHARED if entry.sharers
+                           else LineState.UNCACHED)
+        elif not entry.sharers:
+            entry.state = LineState.UNCACHED
+
+    # -- invariants (used by property-based tests) ---------------------------
+
+    def check_invariants(self) -> None:
+        for line, entry in self._entries.items():
+            if entry.state is LineState.UNCACHED and entry.sharers:
+                raise CoherenceError(f"line {line}: uncached but has sharers")
+            if entry.state is LineState.EXCLUSIVE:
+                if entry.owner is None:
+                    raise CoherenceError(f"line {line}: exclusive, no owner")
+                if entry.sharers - {entry.owner}:
+                    raise CoherenceError(
+                        f"line {line}: exclusive with foreign sharers")
+            if entry.state is LineState.SHARED and not entry.sharers:
+                raise CoherenceError(f"line {line}: shared with no sharers")
+            if entry.state is not LineState.EXCLUSIVE \
+                    and entry.owner is not None:
+                raise CoherenceError(f"line {line}: owner outside exclusive")
+
+    def lines_tracked(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,225 @@
+"""Cache-Only Memory Architecture (COMA) attraction-memory model.
+
+The fourth memory-node flavour of section 3: DDM-style nodes where all
+memory is a large cache ("attraction memory", AM) and data migrates or
+replicates toward its users under a hierarchical directory.
+
+The cluster model captures COMA's defining behaviours:
+
+* **attraction** — a hit in the local AM is cheap; a miss fetches the
+  line from a holder node across the fabric and *keeps a copy*;
+* **migration vs. replication** — writes migrate the (single) master
+  copy and invalidate replicas; reads replicate;
+* **last-copy preservation** — evicting the only copy of a line forces
+  a relocation to another node with spare AM capacity (memory is
+  cache-only: there is no home DRAM to fall back to);
+* a **hierarchical directory** that answers "who holds this line?" at
+  a modelled lookup cost.
+
+Inter-node transfer costs are modelled as parameters rather than routed
+through the flit-level fabric (see DESIGN.md non-goals): the COMA
+experiments compare node-type behaviour, not switch microarchitecture.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Generator, List, Optional, Set
+
+from .. import params
+from ..sim import Environment, Event
+
+__all__ = ["ComaCluster", "ComaStats", "ComaError"]
+
+
+class ComaError(Exception):
+    """Raised when the cluster cannot honour COMA semantics (AM full)."""
+
+
+class ComaStats:
+    """Counters for one cluster."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.remote_fetches = 0
+        self.migrations = 0
+        self.replications = 0
+        self.relocations = 0
+        self.invalidations = 0
+        self.cold_injections = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class ComaCluster:
+    """``nodes`` attraction memories under one hierarchical directory."""
+
+    def __init__(self, env: Environment, nodes: int,
+                 am_capacity_lines: int,
+                 line_bytes: int = params.CACHELINE_BYTES,
+                 local_ns: float = params.LOCAL_MEM_READ_NS,
+                 hop_ns: float = 400.0,
+                 directory_ns: float = 120.0,
+                 name: str = "coma") -> None:
+        if nodes < 1:
+            raise ValueError(f"need at least one node, got {nodes}")
+        if am_capacity_lines < 2:
+            raise ValueError("attraction memory must hold >= 2 lines")
+        self.env = env
+        self.name = name
+        self.num_nodes = nodes
+        self.am_capacity_lines = am_capacity_lines
+        self.line_bytes = line_bytes
+        self.local_ns = local_ns
+        self.hop_ns = hop_ns
+        self.directory_ns = directory_ns
+        # per node: OrderedDict {line: is_master_copy}; LRU at front
+        self._am: List[OrderedDict] = [OrderedDict() for _ in range(nodes)]
+        self._holders: Dict[int, Set[int]] = {}
+        self._master: Dict[int, int] = {}
+        self.stats = ComaStats()
+
+    # -- helpers -----------------------------------------------------------
+
+    def _line(self, addr: int) -> int:
+        return addr // self.line_bytes
+
+    def holders_of(self, addr: int) -> Set[int]:
+        return set(self._holders.get(self._line(addr), set()))
+
+    def master_of(self, addr: int) -> Optional[int]:
+        return self._master.get(self._line(addr))
+
+    def occupancy(self, node: int) -> int:
+        return len(self._am[node])
+
+    # -- the access path -------------------------------------------------------
+
+    def access(self, node: int, addr: int,
+               is_write: bool = False) -> Generator[Event, None, float]:
+        """One access from ``node``; returns the latency charged."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range")
+        start = self.env.now
+        line = self._line(addr)
+        am = self._am[node]
+
+        if line in am:
+            am.move_to_end(line)
+            self.stats.hits += 1
+            if is_write:
+                yield from self._take_mastership(node, line)
+            yield self.env.timeout(self.local_ns)
+            return self.env.now - start
+
+        holders = self._holders.get(line)
+        if not holders:
+            # Cold line: inject at the accessing node.
+            self.stats.cold_injections += 1
+            yield self.env.timeout(self.directory_ns)
+            yield from self._install(node, line, master=True)
+            yield self.env.timeout(self.local_ns)
+            return self.env.now - start
+
+        # Remote fetch: directory lookup + one hop to a holder.
+        self.stats.remote_fetches += 1
+        yield self.env.timeout(self.directory_ns + self.hop_ns)
+        if is_write:
+            yield from self._migrate(node, line)
+        else:
+            self.stats.replications += 1
+            yield from self._install(node, line, master=False)
+        yield self.env.timeout(self.local_ns)
+        return self.env.now - start
+
+    # -- internal state transitions ------------------------------------------
+
+    def _take_mastership(self, node: int, line: int) -> Generator:
+        """A write at a replica: invalidate others, become master."""
+        if self._master.get(line) == node and \
+                self._holders.get(line) == {node}:
+            return
+        others = self._holders.get(line, set()) - {node}
+        if others:
+            self.stats.invalidations += len(others)
+            yield self.env.timeout(self.hop_ns)  # invalidation round
+            for other in others:
+                self._am[other].pop(line, None)
+        self._holders[line] = {node}
+        self._master[line] = node
+        self._am[node][line] = True
+
+    def _migrate(self, node: int, line: int) -> Generator:
+        """A write miss: move the master copy here, kill replicas."""
+        self.stats.migrations += 1
+        others = self._holders.get(line, set())
+        self.stats.invalidations += len(others)
+        for other in others:
+            self._am[other].pop(line, None)
+        self._holders[line] = set()
+        self._master.pop(line, None)
+        yield from self._install(node, line, master=True)
+
+    def _install(self, node: int, line: int,
+                 master: bool) -> Generator[Event, None, None]:
+        """Place a copy in ``node``'s AM, relocating victims as needed."""
+        am = self._am[node]
+        while len(am) >= self.am_capacity_lines:
+            victim, victim_master = am.popitem(last=False)
+            holders = self._holders.get(victim, set())
+            holders.discard(node)
+            if victim_master:
+                if holders:
+                    # Another replica exists: promote it to master.
+                    new_master = min(holders)
+                    self._master[victim] = new_master
+                    self._am[new_master][victim] = True
+                else:
+                    # Last copy: must relocate, never drop (COMA rule).
+                    target = self._find_space(exclude=node)
+                    if target is None:
+                        raise ComaError(
+                            f"{self.name}: cluster AM full, cannot "
+                            f"relocate last copy of line {line}")
+                    self.stats.relocations += 1
+                    yield self.env.timeout(self.hop_ns)
+                    self._am[target][victim] = True
+                    holders = {target}
+                    self._master[victim] = target
+            self._holders[victim] = holders
+        am[line] = master
+        holders = self._holders.setdefault(line, set())
+        holders.add(node)
+        if master:
+            self._master[line] = node
+
+    def _find_space(self, exclude: int) -> Optional[int]:
+        best, best_free = None, 0
+        for node in range(self.num_nodes):
+            if node == exclude:
+                continue
+            free = self.am_capacity_lines - len(self._am[node])
+            if free > best_free:
+                best, best_free = node, free
+        return best
+
+    # -- invariants (property tests) ----------------------------------------
+
+    def check_invariants(self) -> None:
+        for line, holders in self._holders.items():
+            for node in holders:
+                if line not in self._am[node]:
+                    raise ComaError(f"line {line}: holder {node} has no copy")
+            master = self._master.get(line)
+            if holders and master is None:
+                raise ComaError(f"line {line}: held but has no master")
+            if master is not None and master not in holders:
+                raise ComaError(f"line {line}: master {master} not a holder")
+        for node, am in enumerate(self._am):
+            if len(am) > self.am_capacity_lines:
+                raise ComaError(f"node {node} AM over capacity")
+            for line, is_master in am.items():
+                if node not in self._holders.get(line, set()):
+                    raise ComaError(
+                        f"node {node} holds untracked line {line}")

@@ -1,0 +1,89 @@
+"""A bank/row DRAM device timing model.
+
+Used both for host-local DIMMs and for the media inside FAM chassis.
+The model captures the first-order effects that matter at rack scale:
+row-buffer locality (open-page policy), bank-level parallelism, and a
+shared data bus.  Latencies come from :mod:`repro.params`.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional
+
+from .. import params
+from ..sim import Environment, Event, Resource
+
+__all__ = ["DramDevice"]
+
+
+class DramDevice:
+    """One DRAM device with ``banks`` independent banks.
+
+    ``access`` is a process-style generator that charges the request's
+    bank timing (row hit or miss) plus bus transfer, holding the bank
+    and bus resources so concurrent requests contend realistically.
+    """
+
+    def __init__(self, env: Environment,
+                 banks: int = params.DRAM_BANKS,
+                 row_bytes: int = params.DRAM_ROW_BYTES,
+                 row_hit_ns: float = params.DRAM_ROW_HIT_NS,
+                 row_miss_ns: float = params.DRAM_ROW_MISS_NS,
+                 bus_ns_per_line: float = params.DRAM_BUS_NS_PER_CACHELINE,
+                 extra_ns: float = 0.0,
+                 name: str = "dram") -> None:
+        if banks < 1:
+            raise ValueError(f"banks must be >= 1, got {banks}")
+        if row_bytes < params.CACHELINE_BYTES:
+            raise ValueError(f"row must hold at least one line")
+        self.env = env
+        self.name = name
+        self.banks = banks
+        self.row_bytes = row_bytes
+        self.row_hit_ns = row_hit_ns
+        self.row_miss_ns = row_miss_ns
+        self.bus_ns_per_line = bus_ns_per_line
+        self.extra_ns = extra_ns
+        self._bank_locks: List[Resource] = [Resource(env) for _ in range(banks)]
+        self._open_rows: List[Optional[int]] = [None] * banks
+        self._bus = Resource(env)
+        self.row_hits = 0
+        self.row_misses = 0
+        self.accesses = 0
+
+    def _bank_of(self, addr: int) -> int:
+        return (addr // self.row_bytes) % self.banks
+
+    def _row_of(self, addr: int) -> int:
+        return addr // (self.row_bytes * self.banks)
+
+    def access(self, addr: int, nbytes: int = params.CACHELINE_BYTES,
+               is_write: bool = False) -> Generator[Event, None, float]:
+        """Perform one access; returns the latency charged."""
+        if nbytes <= 0:
+            raise ValueError(f"nbytes must be > 0, got {nbytes}")
+        start = self.env.now
+        bank = self._bank_of(addr)
+        row = self._row_of(addr)
+        self.accesses += 1
+        with self._bank_locks[bank].request() as grant:
+            yield grant
+            if self._open_rows[bank] == row:
+                self.row_hits += 1
+                yield self.env.timeout(self.row_hit_ns)
+            else:
+                self.row_misses += 1
+                self._open_rows[bank] = row
+                yield self.env.timeout(self.row_miss_ns)
+            lines = -(-nbytes // params.CACHELINE_BYTES)
+            with self._bus.request() as bus_grant:
+                yield bus_grant
+                yield self.env.timeout(lines * self.bus_ns_per_line)
+        if self.extra_ns:
+            yield self.env.timeout(self.extra_ns)
+        return self.env.now - start
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.row_hits + self.row_misses
+        return self.row_hits / total if total else 0.0

@@ -1,0 +1,244 @@
+"""The fabric-attached memory node types (section 3, difference #2).
+
+Four node flavours, all served behind a fabric endpoint adapter:
+
+* :class:`CpulessExpander` — a CXL Type-3 memory expander with no
+  processor; optionally partitioned across hosts with device-side
+  bounds enforcement;
+* :class:`CcNumaNode` — exposes a coherent shared region backed by a
+  directory-based write-invalidate protocol (DASH/FLASH style): the
+  node snoops remote sharers over CXL.cache before serving conflicting
+  accesses;
+* :class:`NonCcNumaNode` — same hardware without coherence (SCC/Cell
+  style): cheaper and faster, but the device only *counts* cross-host
+  conflicts — software must manage them;
+* the COMA node lives in :mod:`repro.mem.coma`.
+
+A node exposes ``make_handler(port)``; the returned generator is
+installed on the node's transaction port (by the FAM chassis in
+:mod:`repro.infra.chassis`) and speaks packets.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Generator, Optional, Tuple
+
+from .. import params
+from ..fabric.flit import Channel, Packet, PacketKind
+from ..sim import Environment, Event
+from .coherence import Directory
+from .dram import DramDevice
+
+__all__ = ["NodeKind", "MemoryNode", "CpulessExpander", "NonCcNumaNode",
+           "CcNumaNode", "AccessFault"]
+
+
+class NodeKind(enum.Enum):
+    CPULESS_NUMA = "cpuless-numa"
+    CC_NUMA = "cc-numa"
+    NONCC_NUMA = "noncc-numa"
+    COMA = "coma"
+
+
+class AccessFault(Exception):
+    """Device-side bounds/permission violation."""
+
+
+class MemoryNode:
+    """Base: a capacity of fabric-attached memory over DRAM media."""
+
+    kind = NodeKind.CPULESS_NUMA
+
+    def __init__(self, env: Environment, capacity_bytes: int,
+                 name: str = "fam",
+                 media: Optional[DramDevice] = None,
+                 read_extra_ns: float = 0.0,
+                 write_extra_ns: float = 0.0) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity_bytes}")
+        self.env = env
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.media = media or DramDevice(env, name=f"{name}.media")
+        self.read_extra_ns = read_extra_ns
+        self.write_extra_ns = write_extra_ns
+        self.reads = 0
+        self.writes = 0
+        self.faults = 0
+
+    # -- request service -----------------------------------------------------
+
+    def make_handler(self, port):
+        """Build the request handler to install on ``port``."""
+
+        def handler(request: Packet) -> Generator[Event, None, Optional[Packet]]:
+            return (yield from self.service(request, port))
+
+        return handler
+
+    def service(self, request: Packet,
+                port) -> Generator[Event, None, Optional[Packet]]:
+        is_write = request.kind in (PacketKind.MEM_WR, PacketKind.IO_WR)
+        is_read = request.kind in (PacketKind.MEM_RD, PacketKind.IO_RD)
+        if not (is_write or is_read):
+            # Not a memory op (e.g. a snoop response routed here):
+            # ignore rather than crash the chassis.
+            yield self.env.timeout(0)
+            return None
+        try:
+            self.check_access(request)
+        except AccessFault:
+            self.faults += 1
+            response = request.make_response(nbytes=0)
+            response.meta["fault"] = True
+            return response
+        yield from self.pre_media(request, port)
+        yield from self.media.access(request.addr, max(request.nbytes, 64),
+                                     is_write=is_write)
+        if is_write:
+            self.writes += 1
+            if self.write_extra_ns:
+                yield self.env.timeout(self.write_extra_ns)
+        else:
+            self.reads += 1
+            if self.read_extra_ns:
+                yield self.env.timeout(self.read_extra_ns)
+        self.post_media(request)
+        return request.make_response()
+
+    # -- hooks for subclasses ---------------------------------------------------
+
+    def check_access(self, request: Packet) -> None:
+        if not 0 <= request.addr < self.capacity_bytes:
+            raise AccessFault(
+                f"{self.name}: address {request.addr:#x} outside capacity")
+
+    def pre_media(self, request: Packet,
+                  port) -> Generator[Event, None, None]:
+        """Coherence / bookkeeping before touching media (may snoop)."""
+        yield self.env.timeout(0)
+
+    def post_media(self, request: Packet) -> None:
+        """Bookkeeping after media access."""
+
+
+class CpulessExpander(MemoryNode):
+    """A CXL Type-3 memory expander: no processor, optional partitions.
+
+    When shared across hosts, the endpoint adapter partitions the
+    capacity and enforces bounds (the paper: "the FEA needs to
+    partition the capacity and enforce coherence at the device").
+    """
+
+    kind = NodeKind.CPULESS_NUMA
+
+    def __init__(self, env: Environment, capacity_bytes: int,
+                 name: str = "expander", **kwargs) -> None:
+        super().__init__(env, capacity_bytes, name=name, **kwargs)
+        self._partitions: Dict[int, Tuple[int, int]] = {}
+
+    def partition(self, host_id: int, start: int, end: int) -> None:
+        """Grant ``host_id`` exclusive access to [start, end)."""
+        if not 0 <= start < end <= self.capacity_bytes:
+            raise ValueError(f"bad partition [{start:#x}, {end:#x})")
+        for other, (ostart, oend) in self._partitions.items():
+            if other != host_id and start < oend and ostart < end:
+                raise ValueError(
+                    f"partition overlaps host {other}'s range")
+        self._partitions[host_id] = (start, end)
+
+    def check_access(self, request: Packet) -> None:
+        super().check_access(request)
+        if not self._partitions:
+            return
+        bounds = self._partitions.get(request.src)
+        if bounds is None:
+            raise AccessFault(f"{self.name}: host {request.src} "
+                              "has no partition")
+        start, end = bounds
+        if not start <= request.addr < end:
+            raise AccessFault(
+                f"{self.name}: host {request.src} touched {request.addr:#x} "
+                f"outside its partition [{start:#x}, {end:#x})")
+
+
+class NonCcNumaNode(MemoryNode):
+    """A shared node with no hardware coherence (SCC / Cell SPE style).
+
+    Faster and simpler than CC-NUMA — no snoop round-trips — but the
+    device merely *observes* cross-host conflicts; resolving them is
+    software's problem (the paper: "simplifies the hardware design ...
+    but complicates the software").
+    """
+
+    kind = NodeKind.NONCC_NUMA
+
+    def __init__(self, env: Environment, capacity_bytes: int,
+                 name: str = "noncc", line_bytes: int = 64,
+                 **kwargs) -> None:
+        super().__init__(env, capacity_bytes, name=name, **kwargs)
+        self.line_bytes = line_bytes
+        self._last_writer: Dict[int, int] = {}
+        self.cross_host_conflicts = 0
+
+    def post_media(self, request: Packet) -> None:
+        line = request.addr // self.line_bytes
+        if request.kind in (PacketKind.MEM_WR, PacketKind.IO_WR):
+            previous = self._last_writer.get(line)
+            if previous is not None and previous != request.src:
+                self.cross_host_conflicts += 1
+            self._last_writer[line] = request.src
+        else:
+            writer = self._last_writer.get(line)
+            if writer is not None and writer != request.src:
+                self.cross_host_conflicts += 1
+
+
+class CcNumaNode(MemoryNode):
+    """A coherent shared node with a device-side directory.
+
+    Conflicting accesses trigger snoop-invalidate / forced-writeback
+    round-trips to the caching hosts *before* media is touched, so the
+    cost of coherence is visible as extra fabric latency — exactly the
+    trade the paper asks data-structure designers to reason about.
+    """
+
+    kind = NodeKind.CC_NUMA
+
+    def __init__(self, env: Environment, capacity_bytes: int,
+                 name: str = "ccnuma", line_bytes: int = 64,
+                 **kwargs) -> None:
+        super().__init__(env, capacity_bytes, name=name, **kwargs)
+        self.directory = Directory(line_bytes=line_bytes)
+        self.snoops_issued = 0
+
+    def pre_media(self, request: Packet,
+                  port) -> Generator[Event, None, None]:
+        if request.kind not in (PacketKind.MEM_RD, PacketKind.MEM_WR):
+            return
+        if request.meta.get("evict"):
+            # Host writeback-eviction: release the directory entry.
+            self.directory.evict(request.addr, request.src)
+            return
+        is_write = request.kind is PacketKind.MEM_WR
+        action = self.directory.begin_access(request.addr, request.src,
+                                             is_write)
+        if not action.is_noop:
+            snoop_targets = set(action.invalidate)
+            if action.writeback_from is not None:
+                snoop_targets.add(action.writeback_from)
+            snoops = []
+            for host_id in sorted(snoop_targets):
+                packet = Packet(kind=PacketKind.SNP_INV,
+                                channel=Channel.CXL_CACHE,
+                                src=port.port_id, dst=host_id,
+                                addr=request.addr)
+                self.snoops_issued += 1
+                snoops.append(self.env.process(
+                    self._snoop(port, packet), name=f"{self.name}.snp"))
+            yield self.env.all_of(snoops)
+        self.directory.complete_access(request.addr, request.src, is_write)
+
+    def _snoop(self, port, packet: Packet) -> Generator[Event, None, None]:
+        yield from port.request(packet)

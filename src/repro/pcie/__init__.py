@@ -1,0 +1,52 @@
+"""Routable PCIe: switches, routing, arbitration, credits, topology.
+
+The carrier layer of commodity memory fabrics (section 3, difference
+#3).  :mod:`repro.pcie.switch` models the fabric switch,
+:mod:`repro.pcie.routing` the PBR/HBR addressing scheme,
+:mod:`repro.pcie.arbitration` the egress service disciplines,
+:mod:`repro.pcie.credits` per-flow credit budgeting (the CFC pathology
+experiments), :mod:`repro.pcie.topology` the rack wiring, and
+:mod:`repro.pcie.manager` the central fabric manager.
+"""
+
+from .arbitration import (
+    EgressScheduler,
+    FairVcScheduler,
+    FifoScheduler,
+    PriorityScheduler,
+    make_scheduler,
+)
+from .credits import (
+    CreditDomain,
+    CreditPolicy,
+    RampUpPolicy,
+    ReservationPolicy,
+    StaticEqualPolicy,
+)
+from .manager import FabricManager
+from .routing import MAX_PBR_IDS, PBR_ID_BITS, PbrId, RoutingTable
+from .switch import FabricSwitch, PortRole, SwitchPort
+from .topology import Endpoint, Topology
+
+__all__ = [
+    "EgressScheduler",
+    "FairVcScheduler",
+    "FifoScheduler",
+    "PriorityScheduler",
+    "make_scheduler",
+    "CreditDomain",
+    "CreditPolicy",
+    "RampUpPolicy",
+    "ReservationPolicy",
+    "StaticEqualPolicy",
+    "FabricManager",
+    "MAX_PBR_IDS",
+    "PBR_ID_BITS",
+    "PbrId",
+    "RoutingTable",
+    "FabricSwitch",
+    "PortRole",
+    "SwitchPort",
+    "Endpoint",
+    "Topology",
+]

@@ -1,0 +1,227 @@
+"""Per-flow credit budgeting at a contended switch egress port.
+
+Models the CFC issues the paper calls out in section 3 (difference #3).
+A :class:`CreditDomain` owns the finite credit budget of one hot egress
+port (e.g. the downstream port toward a FAM chassis) and divides it
+among the *flows* (source ports) crossing it.  How it divides is the
+pluggable :class:`CreditPolicy`:
+
+* :class:`RampUpPolicy` — the de facto scheme: exponential ramp-up by
+  observed utilization.  A consistently busy flow grabs most of the
+  budget; a quiet flow decays to the floor and stalls when it bursts.
+* :class:`StaticEqualPolicy` — fixed equal shares (no adaptation).
+* :class:`ReservationPolicy` — the DP#4 arbiter's scheme: flows hold
+  explicit reservations (guaranteed minimum), and the slack is divided
+  equally; rebalance is immediate on reserve/reclaim, not periodic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from .. import params
+from ..sim import Container, Environment, Event, Tracer
+
+__all__ = ["CreditDomain", "CreditPolicy", "RampUpPolicy",
+           "StaticEqualPolicy", "ReservationPolicy"]
+
+
+class CreditPolicy:
+    """Decides each flow's credit target given observed demand."""
+
+    #: smallest share any registered flow may hold
+    floor = 1
+
+    def targets(self, domain: "CreditDomain") -> Dict[str, int]:
+        raise NotImplementedError
+
+
+class StaticEqualPolicy(CreditPolicy):
+    """Equal fixed shares, remainder to the earliest-registered flows."""
+
+    def targets(self, domain: "CreditDomain") -> Dict[str, int]:
+        flows = domain.flow_names()
+        if not flows:
+            return {}
+        share, remainder = divmod(domain.budget, len(flows))
+        return {name: max(self.floor, share + (1 if i < remainder else 0))
+                for i, name in enumerate(flows)}
+
+
+class RampUpPolicy(CreditPolicy):
+    """Exponential ramp-up by utilization (the vanilla CFC scheme).
+
+    A flow that used more than ``hot_threshold`` of its current grant
+    since the last rebalance doubles its target; one below
+    ``cold_threshold`` halves.  Targets are then scaled into the budget.
+    The pathology (claim C5): a steadily hot flow compounds its share,
+    and a quiet flow is left at the floor — when it finally bursts it
+    stalls for whole rebalance periods.
+    """
+
+    def __init__(self, ramp: float = params.CREDIT_RAMP_FACTOR,
+                 hot_threshold: float = 0.75,
+                 cold_threshold: float = 0.25) -> None:
+        self.ramp = ramp
+        self.hot_threshold = hot_threshold
+        self.cold_threshold = cold_threshold
+
+    def targets(self, domain: "CreditDomain") -> Dict[str, int]:
+        desired: Dict[str, float] = {}
+        for name in domain.flow_names():
+            grant = domain.granted(name)
+            used = domain.consumed_since_rebalance(name)
+            utilization = used / grant if grant else 1.0
+            if utilization >= self.hot_threshold:
+                desired[name] = max(self.floor, grant * self.ramp)
+            elif utilization <= self.cold_threshold:
+                desired[name] = max(self.floor, grant / self.ramp)
+            else:
+                desired[name] = max(self.floor, grant)
+        total = sum(desired.values())
+        if total <= 0:
+            return StaticEqualPolicy().targets(domain)
+        scale = domain.budget / total
+        targets = {name: max(self.floor, int(value * scale))
+                   for name, value in desired.items()}
+        return targets
+
+
+class ReservationPolicy(CreditPolicy):
+    """Explicit reservations with equal division of the slack (DP#4)."""
+
+    def __init__(self) -> None:
+        self.reservations: Dict[str, int] = {}
+
+    def reserve(self, flow: str, credits: int) -> None:
+        if credits < 0:
+            raise ValueError(f"negative reservation {credits}")
+        self.reservations[flow] = credits
+
+    def reclaim(self, flow: str) -> None:
+        self.reservations.pop(flow, None)
+
+    def targets(self, domain: "CreditDomain") -> Dict[str, int]:
+        flows = domain.flow_names()
+        if not flows:
+            return {}
+        reserved = {name: self.reservations.get(name, 0) for name in flows}
+        committed = sum(reserved.values())
+        slack = max(0, domain.budget - committed
+                    - self.floor * sum(1 for n in flows if not reserved[n]))
+        unreserved = [n for n in flows if not reserved[n]]
+        extra, remainder = (divmod(slack, len(unreserved))
+                            if unreserved else (0, 0))
+        targets = {}
+        for i, name in enumerate(flows):
+            if reserved[name]:
+                targets[name] = reserved[name]
+            else:
+                bump = extra + (1 if unreserved.index(name) < remainder else 0)
+                targets[name] = self.floor + bump
+        return targets
+
+
+class CreditDomain:
+    """The credit budget of one contended egress port, divided by flows.
+
+    A flow acquires one credit per flit before the flit may enter the
+    egress stage and releases it once the flit has been serialized
+    downstream.  A periodic rebalancer moves grants between flows
+    according to the policy.
+    """
+
+    def __init__(self, env: Environment, budget: int,
+                 policy: Optional[CreditPolicy] = None,
+                 rebalance_ns: float = params.CREDIT_RAMP_INTERVAL_NS,
+                 tracer: Optional[Tracer] = None,
+                 name: str = "creditdom") -> None:
+        if budget < 1:
+            raise ValueError(f"budget must be >= 1, got {budget}")
+        self.env = env
+        self.budget = budget
+        self.policy = policy or StaticEqualPolicy()
+        self.rebalance_ns = rebalance_ns
+        self.tracer = tracer
+        self.name = name
+        self._pools: Dict[str, Container] = {}
+        self._granted: Dict[str, int] = {}
+        self._order: List[str] = []
+        self._consumed: Dict[str, int] = {}
+        self._running = False
+
+    # -- flow registry -----------------------------------------------------
+
+    def register(self, flow: str) -> None:
+        if flow in self._pools:
+            raise ValueError(f"flow {flow!r} already registered")
+        self._pools[flow] = Container(self.env, capacity=self.budget * 4,
+                                      init=0)
+        self._granted[flow] = 0
+        self._consumed[flow] = 0
+        self._order.append(flow)
+        self._apply_targets(self.policy.targets(self))
+
+    def flow_names(self) -> List[str]:
+        return list(self._order)
+
+    def granted(self, flow: str) -> int:
+        return self._granted[flow]
+
+    def available(self, flow: str) -> float:
+        return self._pools[flow].level
+
+    def consumed_since_rebalance(self, flow: str) -> int:
+        return self._consumed[flow]
+
+    # -- data path ----------------------------------------------------------
+
+    def acquire(self, flow: str) -> Event:
+        """Take one credit for ``flow`` (blocks while its pool is dry)."""
+        self._consumed[flow] += 1
+        return self._pools[flow].get(1)
+
+    def release(self, flow: str) -> None:
+        """Return one credit (flit left the egress stage)."""
+        target = self._granted[flow]
+        pool = self._pools[flow]
+        # If the flow's grant shrank since this credit was taken, the
+        # returned credit is retired instead of refilled.
+        if pool.level < target:
+            pool.put(1)
+
+    # -- control plane --------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin periodic rebalancing (idempotent)."""
+        if not self._running:
+            self._running = True
+            self.env.process(self._rebalancer(), name=f"{self.name}.rebal")
+
+    def rebalance_now(self) -> None:
+        """Apply policy targets immediately (the arbiter path)."""
+        self._apply_targets(self.policy.targets(self))
+        for flow in self._consumed:
+            self._consumed[flow] = 0
+
+    def _rebalancer(self) -> Generator[Event, None, None]:
+        while True:
+            yield self.env.timeout(self.rebalance_ns)
+            self.rebalance_now()
+            if self.tracer is not None:
+                self.tracer.record(self.env.now, "credits.rebalance",
+                                   domain=self.name,
+                                   grants=dict(self._granted))
+
+    def _apply_targets(self, targets: Dict[str, int]) -> None:
+        for flow, target in targets.items():
+            current = self._granted[flow]
+            if target > current:
+                self._pools[flow].put(target - current)
+            elif target < current:
+                # Shrinking is lazy: outstanding credits retire on
+                # release (see `release`), idle ones are drained now.
+                drain = min(self._pools[flow].level, current - target)
+                if drain > 0:
+                    self._pools[flow].get(drain)
+            self._granted[flow] = target

@@ -1,0 +1,108 @@
+"""The central fabric manager: discovery and routing-table fill.
+
+The paper (section 2.1): "The switching routing table is generally
+filled up by a central fabric manager."  This module is that manager:
+it walks the topology graph (discovery), computes shortest paths with
+breadth-first searches, and installs
+
+* **PBR exact routes** for every endpoint in the switch's own domain —
+  *all* equal-cost next hops, so adaptive switches can spread load
+  over parallel paths (ECMP);
+* **HBR domain routes** (one prefix entry per foreign domain) pointing
+  at the next hop toward that domain's gateway.
+
+The manager runs at configuration time — before traffic — mirroring how
+real fabric managers program switches out-of-band.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from .topology import Topology
+
+__all__ = ["FabricManager"]
+
+
+class FabricManager:
+    """Computes and installs routes for every switch in a topology."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self.routes_installed = 0
+
+    def configure(self) -> int:
+        """Fill every switch's routing table; returns #entries installed."""
+        self.routes_installed = 0
+        distance_maps = {
+            name: self._distances_from(name)
+            for name in self.topology.endpoints
+        }
+        for switch_name in self.topology.switches:
+            self._configure_switch(switch_name, distance_maps)
+        return self.routes_installed
+
+    # -- internals -------------------------------------------------------
+
+    def _distances_from(self, endpoint_name: str) -> Dict[str, int]:
+        """BFS hop counts from an endpoint (not relaying via endpoints)."""
+        distances = {endpoint_name: 0}
+        queue = deque([endpoint_name])
+        while queue:
+            node = queue.popleft()
+            if node in self.topology.endpoints and node != endpoint_name:
+                continue  # endpoints do not forward traffic
+            for neighbor, _ in self.topology.neighbors(node):
+                if neighbor not in distances:
+                    distances[neighbor] = distances[node] + 1
+                    queue.append(neighbor)
+        return distances
+
+    def _next_hop_ports(self, switch_name: str,
+                        distances: Dict[str, int]) -> List[int]:
+        """Egress ports on every shortest path toward the endpoint."""
+        my_distance = distances.get(switch_name)
+        if my_distance is None:
+            return []
+        ports = []
+        for neighbor, egress_port in self.topology.neighbors(switch_name):
+            neighbor_distance = distances.get(neighbor)
+            if neighbor_distance is not None \
+                    and neighbor_distance == my_distance - 1:
+                ports.append(egress_port)
+        return ports
+
+    def _configure_switch(self, switch_name: str,
+                          distance_maps: Dict[str, Dict[str, int]]) -> None:
+        switch = self.topology.switches[switch_name]
+        foreign_domain_port: Dict[int, Optional[int]] = {}
+        for endpoint in self.topology.endpoints.values():
+            ports = self._next_hop_ports(switch_name,
+                                         distance_maps[endpoint.name])
+            if not ports:
+                continue  # unreachable endpoint: leave unrouted
+            if endpoint.pbr.domain == switch.domain:
+                for egress_port in ports:
+                    switch.table.add_endpoint(endpoint.pbr, egress_port)
+                    self.routes_installed += 1
+            else:
+                known = foreign_domain_port.get(endpoint.pbr.domain)
+                if known is None:
+                    foreign_domain_port[endpoint.pbr.domain] = ports[0]
+                elif known != ports[0]:
+                    # Two gateways toward the same domain: fall back to
+                    # exact routes for correctness (simple multipath).
+                    switch.table.add_endpoint(endpoint.pbr, ports[0])
+                    self.routes_installed += 1
+        for domain, egress_port in foreign_domain_port.items():
+            switch.table.add_domain(domain, egress_port)
+            self.routes_installed += 1
+
+    def describe(self) -> str:
+        lines = [f"fabric manager: {self.routes_installed} routes installed"]
+        for name, switch in self.topology.switches.items():
+            lines.append(f"  {name} (domain {switch.domain}):")
+            for kind, key, port in switch.table.entries():
+                lines.append(f"    {kind:<8} {key!r:<18} -> port {port}")
+        return "\n".join(lines)

@@ -1,0 +1,210 @@
+"""The fabric switch (FS): ports, crossbar, routing, egress scheduling.
+
+Mirrors the component described in section 2.2: upstream ports (UPs)
+toward fabric host adapters, downstream ports (DPs) toward devices and
+memory, a non-blocking crossbar between them (the Omega testbed
+design), per-egress staging queues with a pluggable service discipline,
+and a routing table filled by the central fabric manager.
+
+Timing model per forwarded flit:
+
+* the flit leaves the ingress link buffer only once a switch buffer
+  slot is free (holding the upstream credit otherwise — this is how
+  congestion back-propagates, claim C7);
+* it crosses the pipeline in ``port_latency_ns`` (the paper's
+  "<100 ns non-blocking switch latency per port");
+* it is staged at the egress scheduler, then serialized by the egress
+  link at link bandwidth.
+
+Because every stage is pipelined, throughput is set by link bandwidth,
+not by the 90 ns latency.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Dict, Generator, List, Optional
+
+from .. import params
+from ..fabric.flit import Flit
+from ..fabric.link import LinkLayer
+from ..sim import Environment, Event, Resource, Tracer
+from .arbitration import EgressScheduler, make_scheduler
+from .credits import CreditDomain
+from .routing import PbrId, RoutingTable
+
+__all__ = ["FabricSwitch", "PortRole", "SwitchPort"]
+
+
+class PortRole(enum.Enum):
+    UPSTREAM = "UP"        # toward host adapters
+    DOWNSTREAM = "DP"      # toward devices / memory / other switches
+
+
+@dataclasses.dataclass
+class SwitchPort:
+    """One attached port: the link pair and its egress scheduler."""
+
+    index: int
+    role: PortRole
+    in_link: LinkLayer
+    out_link: LinkLayer
+    scheduler: EgressScheduler
+    peer: str = ""
+    flits_in: int = 0
+    flits_out: int = 0
+    pending: int = 0      # flits routed here but not yet on the wire
+
+
+class FabricSwitch:
+    """A PBR-capable switch inside one fabric domain."""
+
+    def __init__(self, env: Environment, name: str, domain: int = 0,
+                 port_latency_ns: float = params.SWITCH_PORT_LATENCY_NS,
+                 scheduler: str = "fair",
+                 scheduler_capacity: int = 64,
+                 ingress_buffer: int = 128,
+                 adaptive_routing: bool = False,
+                 tracer: Optional[Tracer] = None) -> None:
+        self.env = env
+        self.name = name
+        self.domain = domain
+        self.port_latency_ns = port_latency_ns
+        self.scheduler_kind = scheduler
+        self.scheduler_capacity = scheduler_capacity
+        self.ingress_buffer = ingress_buffer
+        self.adaptive_routing = adaptive_routing
+        self.tracer = tracer
+        self.table = RoutingTable(domain)
+        self.ports: Dict[int, SwitchPort] = {}
+        self.credit_domains: Dict[int, CreditDomain] = {}
+        self.flits_forwarded = 0
+        self._next_index = 0
+        self._rr_counter = 0
+
+    # -- construction ------------------------------------------------------
+
+    def attach(self, in_link: LinkLayer, out_link: LinkLayer,
+               role: PortRole = PortRole.DOWNSTREAM,
+               peer: str = "",
+               index: Optional[int] = None) -> SwitchPort:
+        """Wire a link pair into the switch and start its pipelines."""
+        if index is None:
+            index = self._next_index
+        if index in self.ports:
+            raise ValueError(f"port {index} already attached on {self.name}")
+        self._next_index = max(self._next_index, index + 1)
+        port = SwitchPort(
+            index=index, role=role, in_link=in_link, out_link=out_link,
+            scheduler=make_scheduler(self.scheduler_kind, self.env,
+                                     capacity=self.scheduler_capacity),
+            peer=peer)
+        self.ports[index] = port
+        self.env.process(self._ingress(port), name=f"{self.name}.in{index}")
+        self.env.process(self._egress(port), name=f"{self.name}.out{index}")
+        return port
+
+    def add_credit_domain(self, egress_index: int,
+                          domain: CreditDomain) -> None:
+        """Constrain one egress port with a per-flow credit budget.
+
+        Flows are named after the ingress port index (``"in<N>"``); they
+        are registered lazily as traffic first crosses.
+        """
+        if egress_index not in self.ports:
+            raise ValueError(f"no port {egress_index} on {self.name}")
+        self.credit_domains[egress_index] = domain
+
+    # -- data path -----------------------------------------------------------
+
+    def _ingress(self, port: SwitchPort) -> Generator[Event, None, None]:
+        slots = Resource(self.env, capacity=self.ingress_buffer)
+        while True:
+            flit: Flit = yield port.in_link.rx.get()
+            request = slots.request()
+            yield request
+            # Credit returns upstream only once the flit found switch
+            # buffering; a full switch therefore stalls the upstream
+            # link and, transitively, switches further up.
+            port.in_link.consume(flit)
+            port.flits_in += 1
+            self.env.process(self._forward(flit, port, slots, request),
+                             name=f"{self.name}.fwd")
+
+    def _forward(self, flit: Flit, ingress: SwitchPort,
+                 slots: Resource, request) -> Generator[Event, None, None]:
+        yield self.env.timeout(self.port_latency_ns)
+        try:
+            egress_index = self._route(flit)
+        except KeyError:
+            slots.release(request)
+            if self.tracer is not None:
+                self.tracer.record(self.env.now, "switch.drop",
+                                   switch=self.name, packet=repr(flit.packet))
+            return
+        egress = self.ports[egress_index]
+        egress.pending += 1
+        flit.flow = f"in{ingress.index}"
+        domain = self.credit_domains.get(egress_index)
+        if domain is not None:
+            if flit.flow not in domain.flow_names():
+                domain.register(flit.flow)
+            yield domain.acquire(flit.flow)
+        yield egress.scheduler.push(flit)
+        slots.release(request)
+
+    def _route(self, flit: Flit) -> int:
+        """Pick the egress port; adaptive mode takes the least loaded.
+
+        All flits of one packet must take one path (reassembly is
+        per-packet, but ordering within the packet matters), so the
+        adaptive choice is made on the head flit and remembered.
+        """
+        dst = PbrId.from_global(flit.packet.dst)
+        candidates = self.table.candidates(dst)
+        if not self.adaptive_routing or len(candidates) == 1:
+            return candidates[0]
+        chosen = flit.packet.meta.get("_adaptive_path", {}).get(self.name)
+        if chosen is not None:
+            return chosen
+        # Least in-flight load wins; ties rotate round-robin so equal
+        # paths actually share (a head-of-list bias would starve one).
+        self._rr_counter += 1
+        rotation = self._rr_counter % len(candidates)
+        rotated = candidates[rotation:] + candidates[:rotation]
+        chosen = min(rotated,
+                     key=lambda index: self.ports[index].pending)
+        flit.packet.meta.setdefault("_adaptive_path", {})[self.name] = \
+            chosen
+        return chosen
+
+    def _egress(self, port: SwitchPort) -> Generator[Event, None, None]:
+        domain_lookup = self.credit_domains
+        while True:
+            flit = yield from port.scheduler.pop()
+            yield from port.out_link.transmit_direct(flit)
+            port.pending -= 1
+            port.flits_out += 1
+            self.flits_forwarded += 1
+            domain = domain_lookup.get(port.index)
+            if domain is not None and flit.flow is not None:
+                domain.release(flit.flow)
+            if self.tracer is not None:
+                self.tracer.record(self.env.now, "switch.fwd",
+                                   switch=self.name, port=port.index,
+                                   flit=repr(flit))
+
+    # -- inspection -------------------------------------------------------------
+
+    def port_count(self) -> int:
+        return len(self.ports)
+
+    def describe(self) -> str:
+        lines = [f"switch {self.name} (domain {self.domain}, "
+                 f"{len(self.ports)} ports, {self.scheduler_kind} scheduler)"]
+        for index in sorted(self.ports):
+            port = self.ports[index]
+            lines.append(f"  port {index} [{port.role.value}] -> {port.peer} "
+                         f"(in={port.flits_in}, out={port.flits_out})")
+        return "\n".join(lines)

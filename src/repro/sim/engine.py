@@ -1,0 +1,421 @@
+"""A small deterministic discrete-event simulation kernel.
+
+The kernel follows the classic process-interaction style: model code is
+written as generator functions that ``yield`` events; the environment
+resumes a process when the event it waits on fires.  The design mirrors
+SimPy's core (events, processes, an ordered event queue) but is written
+from scratch so the repository has no external simulation dependency
+and so that scheduling is fully deterministic: ties in time are broken
+by priority and then by a monotonically increasing sequence number.
+
+Time is a float in nanoseconds by convention (see ``repro.params``),
+although the kernel itself is unit-agnostic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "SimulationError",
+]
+
+# Scheduling priorities: URGENT fires before NORMAL at the same time.
+URGENT = 0
+NORMAL = 1
+
+
+class SimulationError(Exception):
+    """Raised for kernel misuse (double trigger, running a dead env...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The interrupted process sees this exception raised at its current
+    ``yield`` statement and may catch it to implement preemption,
+    timeout-and-retry, or failure handling.
+    """
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0] if self.args else None
+
+
+class Event:
+    """An occurrence that processes can wait for.
+
+    An event starts *pending*, becomes *triggered* when given a value
+    (or an exception) and scheduled, and *processed* once its callbacks
+    have run.  Callbacks receive the event itself.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_processed")
+
+    _PENDING = object()
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = Event._PENDING
+        self._ok = True
+        self._scheduled = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not Event._PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is Event._PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception is re-raised inside every waiting process.
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"{exception!r} is not an exception")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL)
+        return self
+
+    def __repr__(self) -> str:
+        state = "processed" if self._processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    """Internal event that starts a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env._schedule(self, URGENT)
+
+
+class Process(Event):
+    """A running process; also an event that fires when the process ends.
+
+    Created via :meth:`Environment.process`.  The wrapped generator
+    yields events; when a yielded event fires, the generator is resumed
+    with the event's value (or the event's exception is thrown in).
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment",
+                 generator: Generator[Event, Any, Any],
+                 name: str = "") -> None:
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process currently waits on (None if running)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its next resume.
+
+        Interrupting a dead process is an error; interrupting a process
+        that is about to be resumed is allowed and takes precedence.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name}")
+        if self._target is not None and self._target.callbacks is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event.callbacks.append(self._resume)
+        self.env._schedule(interrupt_event, URGENT)
+
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        # Detach from the old target: we are being resumed by `event`.
+        if self._target is not None and self._target is not event:
+            if self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+        self._target = None
+        try:
+            if event._ok:
+                next_event = self._generator.send(event._value)
+            else:
+                next_event = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            if not self.triggered:
+                self._ok = True
+                self._value = stop.value
+                self.env._schedule(self, NORMAL)
+            return
+        except BaseException as exc:
+            self.env._active_process = None
+            if not self.triggered:
+                self._ok = False
+                self._value = exc
+                self.env._schedule(self, NORMAL)
+            return
+        self.env._active_process = None
+
+        if not isinstance(next_event, Event):
+            error = SimulationError(
+                f"process {self.name!r} yielded a non-event: {next_event!r}")
+            try:
+                self._generator.throw(error)
+            except StopIteration as stop:
+                failed_ok, failed_value = True, stop.value
+            except BaseException as exc:
+                failed_ok, failed_value = False, exc
+            else:
+                # The generator swallowed the error and yielded again;
+                # refuse to continue a misbehaving process.
+                self._generator.close()
+                failed_ok, failed_value = False, error
+            if not self.triggered:
+                self._ok = failed_ok
+                self._value = failed_value
+                self.env._schedule(self, NORMAL)
+            return
+        if next_event.env is not self.env:
+            raise SimulationError("event belongs to a different environment")
+        if next_event.callbacks is None:
+            # Already processed: resume immediately with its stored value.
+            immediate = Event(self.env)
+            immediate._ok = next_event._ok
+            immediate._value = next_event._value
+            immediate.callbacks.append(self._resume)
+            self.env._schedule(immediate, URGENT)
+            self._target = immediate
+        else:
+            next_event.callbacks.append(self._resume)
+            self._target = next_event
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events.
+
+    An event counts as *fired* once its callbacks have been consumed
+    (``callbacks is None``); note that a :class:`Timeout` carries its
+    value from creation, so ``triggered`` alone cannot be used here.
+    """
+
+    __slots__ = ("events", "_unfired", "_fired")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events = list(events)
+        if any(e.env is not env for e in self.events):
+            raise SimulationError("events from different environments")
+        self._unfired = 0
+        self._fired = 0
+        failed = None
+        for event in self.events:
+            if event.callbacks is None:  # already processed
+                if not event._ok and failed is None:
+                    failed = event._value
+                self._fired += 1
+            else:
+                self._unfired += 1
+                event.callbacks.append(self._check)
+        if failed is not None:
+            self.fail(failed)
+        else:
+            self._maybe_fire()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._unfired -= 1
+        self._fired += 1
+        self._maybe_fire()
+
+    def _maybe_fire(self) -> None:
+        if not self.triggered and self._satisfied():
+            self.succeed(self._collect())
+
+    def _collect(self) -> dict:
+        return {e: e._value for e in self.events if e.callbacks is None}
+
+    def _satisfied(self) -> bool:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires once every constituent event has fired."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._unfired == 0
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any constituent event fires."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._fired > 0 or not self.events
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[tuple] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        if event._scheduled:
+            return
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    # -- factories -------------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any],
+                name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- execution -------------------------------------------------------
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        self._now, _, _, event = heapq.heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        event._processed = True
+        if not event._ok and not callbacks and not isinstance(event, Process):
+            # A failed event nobody waited for: surface the error.
+            raise event._value
+
+    def run(self, until: Optional[float] = None,
+            until_event: Optional[Event] = None) -> Any:
+        """Run until the queue drains, time ``until``, or ``until_event``.
+
+        Returns the value of ``until_event`` if given and it fired.
+        """
+        if until is not None and until < self._now:
+            raise ValueError(f"until={until} is in the past (now={self._now})")
+        stop = until if until is not None else float("inf")
+        while self._queue:
+            if until_event is not None and until_event.triggered:
+                break
+            if self._queue[0][0] > stop:
+                self._now = stop
+                return None
+            self.step()
+        if until_event is not None:
+            if not until_event.triggered:
+                raise SimulationError("until_event never fired")
+            if not until_event._ok:
+                raise until_event._value
+            return until_event._value
+        if until is not None:
+            self._now = max(self._now, stop) if stop != float("inf") else self._now
+        return None

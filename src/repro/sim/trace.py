@@ -1,0 +1,134 @@
+"""Lightweight event tracing and statistics collection.
+
+The tracer is deliberately simple: components call
+``tracer.record(kind, **fields)`` and analyses filter the resulting
+list.  :class:`StatSeries` accumulates scalar samples with O(1) memory
+for the common mean/percentile queries benchmarks need.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["Tracer", "TraceRecord", "StatSeries"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: float
+    kind: str
+    fields: Dict[str, Any]
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` instances; can be disabled for speed."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.records: List[TraceRecord] = []
+
+    def record(self, time: float, kind: str, **fields: Any) -> None:
+        if self.enabled:
+            self.records.append(TraceRecord(time, kind, fields))
+
+    def filter(self, kind: str) -> Iterator[TraceRecord]:
+        return (r for r in self.records if r.kind == kind)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for _ in self.filter(kind))
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class StatSeries:
+    """Scalar sample accumulator with mean / percentile / rate queries.
+
+    Keeps raw samples (simulations here are small enough) so exact
+    percentiles are available; also tracks first/last sample times for
+    throughput computation.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.samples: List[float] = []
+        self.first_time: Optional[float] = None
+        self.last_time: Optional[float] = None
+
+    def add(self, value: float, time: Optional[float] = None) -> None:
+        self.samples.append(value)
+        if time is not None:
+            if self.first_time is None:
+                self.first_time = time
+            self.last_time = time
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            raise ValueError(f"no samples in series {self.name!r}")
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples)
+
+    @property
+    def stddev(self) -> float:
+        if len(self.samples) < 2:
+            return 0.0
+        mu = self.mean
+        var = sum((s - mu) ** 2 for s in self.samples) / (len(self.samples) - 1)
+        return math.sqrt(var)
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile by nearest-rank (p in [0, 100])."""
+        if not self.samples:
+            raise ValueError(f"no samples in series {self.name!r}")
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1,
+                          math.ceil(p / 100.0 * len(ordered)) - 1))
+        return ordered[rank]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def rate_per_ns(self) -> float:
+        """Completions per nanosecond over the sampled interval."""
+        if self.first_time is None or self.last_time is None:
+            raise ValueError("series has no timestamps")
+        span = self.last_time - self.first_time
+        if span <= 0:
+            return float("inf")
+        return (len(self.samples) - 1) / span if len(self.samples) > 1 else 0.0
+
+    def mops(self) -> float:
+        """Million operations per second (time unit: nanoseconds)."""
+        return self.rate_per_ns() * 1e3

@@ -1,0 +1,48 @@
+"""Workloads: trace generators and the applications driving evaluation.
+
+* :mod:`repro.workloads.traces` — synthetic access patterns;
+* :mod:`repro.workloads.kvstore` — a key-value store over the unified
+  heap;
+* :mod:`repro.workloads.graph` — CSR graph traversal over fabric
+  memory;
+* :mod:`repro.workloads.mimo` — the section 5 case study: software
+  massive-MIMO baseband processing (Agora-style).
+"""
+
+from . import traces
+from .graph import CsrGraph, random_graph
+from .kvstore import KvStats, KvStore
+from .mimo import (
+    DOWNLINK_KERNEL_ORDER,
+    DownlinkPipeline,
+    downlink_received_bits,
+    KERNEL_ORDER,
+    MimoChannel,
+    MimoConfig,
+    UplinkPipeline,
+    flops_to_ns,
+    qpsk_demodulate,
+    qpsk_modulate,
+    repetition_decode,
+    repetition_encode,
+)
+
+__all__ = [
+    "traces",
+    "CsrGraph",
+    "random_graph",
+    "KvStats",
+    "KvStore",
+    "KERNEL_ORDER",
+    "DOWNLINK_KERNEL_ORDER",
+    "DownlinkPipeline",
+    "downlink_received_bits",
+    "MimoChannel",
+    "MimoConfig",
+    "UplinkPipeline",
+    "flops_to_ns",
+    "qpsk_demodulate",
+    "qpsk_modulate",
+    "repetition_decode",
+    "repetition_encode",
+]

@@ -1,0 +1,91 @@
+"""A key-value store over the unified heap.
+
+A small but real application of the DP#2 API: values live as heap
+objects behind smart pointers, a hash index maps keys to them, and all
+data-path costs (index probes, value reads/writes) are charged through
+the host memory hierarchy.  Used by examples and the DP#2 ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Optional
+
+from ..core.heap import SmartPointer, UnifiedHeap
+from ..sim import Environment, Event
+
+__all__ = ["KvStore", "KvStats"]
+
+
+class KvStats:
+    def __init__(self) -> None:
+        self.puts = 0
+        self.gets = 0
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class KvStore:
+    """``put``/``get``/``delete`` over heap-resident values."""
+
+    def __init__(self, env: Environment, heap: UnifiedHeap,
+                 value_bytes: int = 1024) -> None:
+        if value_bytes <= 0:
+            raise ValueError("value_bytes must be positive")
+        self.env = env
+        self.heap = heap
+        self.value_bytes = value_bytes
+        self._index: Dict[str, SmartPointer] = {}
+        self.stats = KvStats()
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def put(self, key: str,
+            value_bytes: Optional[int] = None
+            ) -> Generator[Event, None, SmartPointer]:
+        """Insert or overwrite; charges the full value write."""
+        size = value_bytes or self.value_bytes
+        pointer = self._index.get(key)
+        if pointer is not None and pointer.size != size:
+            self.heap.free(pointer)
+            pointer = None
+        if pointer is None:
+            pointer = self.heap.allocate(size)
+            self._index[key] = pointer
+        offset = 0
+        while offset < size:
+            chunk = min(4096, size - offset)
+            yield from pointer.write(offset, chunk)
+            offset += chunk
+        self.stats.puts += 1
+        return pointer
+
+    def get(self, key: str) -> Generator[Event, None, bool]:
+        """Read the whole value; returns False on miss."""
+        self.stats.gets += 1
+        pointer = self._index.get(key)
+        if pointer is None:
+            self.stats.misses += 1
+            return False
+        offset = 0
+        while offset < pointer.size:
+            chunk = min(4096, pointer.size - offset)
+            yield from pointer.read(offset, chunk)
+            offset += chunk
+        self.stats.hits += 1
+        return True
+
+    def delete(self, key: str) -> bool:
+        pointer = self._index.pop(key, None)
+        if pointer is None:
+            return False
+        self.heap.free(pointer)
+        return True
+
+    def pointer_of(self, key: str) -> Optional[SmartPointer]:
+        return self._index.get(key)

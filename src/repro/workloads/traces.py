@@ -1,0 +1,95 @@
+"""Synthetic memory-access trace generators.
+
+All generators yield ``(address, is_write)`` tuples suitable for
+:meth:`repro.infra.cpu.CpuCore.run` and the Table 2 / ablation
+benchmarks.  Addresses are aligned to cachelines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from .. import params
+from ..sim import SimRng
+
+__all__ = ["sequential", "uniform", "zipfian", "pointer_chase",
+           "phased_working_sets", "read_write_mix"]
+
+LINE = params.CACHELINE_BYTES
+
+
+def _align(addr: int) -> int:
+    return (addr // LINE) * LINE
+
+
+def sequential(base: int, count: int, stride: int = LINE,
+               is_write: bool = False) -> Iterator[Tuple[int, bool]]:
+    """A streaming scan: base, base+stride, ..."""
+    if stride == 0:
+        raise ValueError("stride must be non-zero")
+    for i in range(count):
+        yield _align(base + i * stride), is_write
+
+
+def uniform(base: int, span: int, count: int, rng: SimRng,
+            write_fraction: float = 0.0) -> Iterator[Tuple[int, bool]]:
+    """Uniformly random lines in [base, base+span)."""
+    if span < LINE:
+        raise ValueError("span must cover at least one line")
+    lines = span // LINE
+    for _ in range(count):
+        line = rng.randint(0, lines - 1)
+        yield base + line * LINE, rng.bernoulli(write_fraction)
+
+
+def zipfian(base: int, span: int, count: int, rng: SimRng,
+            alpha: float = 0.99,
+            write_fraction: float = 0.0) -> Iterator[Tuple[int, bool]]:
+    """Zipf-skewed accesses: a few lines dominate (hot objects)."""
+    if span < LINE:
+        raise ValueError("span must cover at least one line")
+    lines = span // LINE
+    for _ in range(count):
+        line = rng.zipf_index(lines, alpha)
+        yield base + line * LINE, rng.bernoulli(write_fraction)
+
+
+def pointer_chase(base: int, span: int, count: int, rng: SimRng
+                  ) -> Iterator[Tuple[int, bool]]:
+    """A dependent-chain walk over a random permutation of lines.
+
+    The worst case for prefetchers: the next address is unknown until
+    the current line returns (modelled by the random successor chain).
+    """
+    lines = span // LINE
+    if lines < 2:
+        raise ValueError("span must cover at least two lines")
+    order = list(range(lines))
+    rng.shuffle(order)
+    position = 0
+    for _ in range(count):
+        yield base + order[position] * LINE, False
+        position = (position + 1) % lines
+
+
+def phased_working_sets(base: int, phase_span: int, phases: int,
+                        accesses_per_phase: int, rng: SimRng,
+                        write_fraction: float = 0.1
+                        ) -> Iterator[Tuple[int, bool]]:
+    """Phase-structured locality: each phase hammers a different range.
+
+    This is the access pattern that rewards temperature-driven object
+    migration: the hot set changes every phase.
+    """
+    for phase in range(phases):
+        phase_base = base + phase * phase_span
+        yield from uniform(phase_base, phase_span, accesses_per_phase,
+                           rng, write_fraction)
+
+
+def read_write_mix(addrs: List[int], rng: SimRng,
+                   write_fraction: float = 0.5
+                   ) -> Iterator[Tuple[int, bool]]:
+    """Stamp a write fraction onto a fixed address list."""
+    for addr in addrs:
+        yield _align(addr), rng.bernoulli(write_fraction)

@@ -1,0 +1,143 @@
+"""Tests for the comparison baselines."""
+
+import pytest
+
+from repro import params
+from repro.baselines import CommFabricChannel, StaticPlacementHeap
+from repro.core import MovementOrchestrator
+from repro.infra import ClusterSpec, build_cluster
+from repro.sim import Environment
+
+
+def run(env, gen, horizon=1_000_000_000):
+    proc = env.process(gen)
+    env.run(until=env.now + horizon)
+    assert proc.triggered
+    if not proc.ok:
+        raise proc.value
+    return proc.value
+
+
+class TestCommFabric:
+    def test_remote_read_pays_stack_taxes(self):
+        env = Environment()
+        nic = CommFabricChannel(env)
+
+        def go():
+            return (yield from nic.remote_read())
+
+        latency = run(env, go())
+        floor = (nic.stack_ns + nic.dma_setup_ns + nic.interrupt_ns)
+        assert latency >= floor
+
+    def test_small_transfer_slower_than_fabric_load(self):
+        """Difference #1: the async path loses badly on 64B."""
+        env = Environment()
+        cluster = build_cluster(env, ClusterSpec(hosts=1))
+        host = cluster.host(0)
+        nic = CommFabricChannel(env)
+        base = host.remote_base("fam0")
+
+        def go():
+            start = env.now
+            yield from host.mem.access(base + 0x40000, False)
+            fabric = env.now - start
+            nic_latency = yield from nic.remote_read()
+            return fabric, nic_latency
+
+        fabric, nic_latency = run(env, go())
+        assert nic_latency > fabric
+
+    def test_large_transfer_amortizes_taxes(self):
+        env = Environment()
+        nic = CommFabricChannel(env)
+
+        def go():
+            small = yield from nic.transfer(64)
+            large = yield from nic.transfer(1 << 20)
+            return small, large
+
+        small, large = run(env, go())
+        # Fixed costs dominate the small one; wire time the large one.
+        assert large / (1 << 20) < small / 64
+
+    def test_wire_serializes_transfers(self):
+        env = Environment()
+        nic = CommFabricChannel(env, bandwidth_bytes_per_ns=1.0)
+        done = []
+
+        def one():
+            yield from nic.transfer(10_000)
+            done.append(env.now)
+
+        env.process(one())
+        env.process(one())
+        env.run(until=10_000_000)
+        assert len(done) == 2
+        assert done[1] - done[0] >= 9_000  # second waited for the wire
+
+    def test_kernel_launch_cost(self):
+        env = Environment()
+        nic = CommFabricChannel(env)
+
+        def go():
+            return (yield from nic.kernel_launch(kernel_ns=500.0))
+
+        latency = run(env, go())
+        assert latency > params.NIC_STACK_NS + 500.0
+
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            CommFabricChannel(env, bandwidth_bytes_per_ns=0)
+
+        nic = CommFabricChannel(env)
+
+        def go():
+            yield from nic.transfer(-1)
+
+        with pytest.raises(ValueError):
+            run(env, go())
+
+
+class TestStaticHeap:
+    def _heap(self, env, placement):
+        cluster = build_cluster(env, ClusterSpec(hosts=1))
+        host = cluster.host(0)
+        engine = MovementOrchestrator(env).attach_host(host)
+        heap = StaticPlacementHeap(env, host, engine, placement=placement)
+        heap.add_bin("local", start=1 << 20, size=1 << 20, tier="local",
+                     is_remote=False)
+        heap.add_bin("fam0", start=host.remote_base("fam0"),
+                     size=1 << 20, tier="cpuless-numa", is_remote=True)
+        return heap
+
+    def test_first_fit_fills_first_bin(self):
+        env = Environment()
+        heap = self._heap(env, "first")
+        pointers = [heap.allocate(4096) for _ in range(4)]
+        assert all(p.tier == "local" for p in pointers)
+
+    def test_round_robin_stripes_bins(self):
+        env = Environment()
+        heap = self._heap(env, "round-robin")
+        tiers = [heap.allocate(4096).tier for _ in range(4)]
+        assert tiers == ["local", "cpuless-numa"] * 2
+
+    def test_migration_is_disabled(self):
+        env = Environment()
+        heap = self._heap(env, "first")
+        pointer = heap.allocate(4096)
+
+        def go():
+            moved = yield from heap.migrate(pointer.oid,
+                                            heap.bins["fam0"])
+            return moved
+
+        assert run(env, go()) is False
+        assert pointer.tier == "local"
+
+    def test_unknown_placement_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            self._heap(env, "magic")

@@ -1,0 +1,33 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_info_prints_catalog_and_rack(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "CXL" in out
+        assert "host0" in out
+
+    def test_table2_calibration_passes(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "remote read" in out
+        assert "<-- off" not in out
+
+    def test_demo_promotes_hot_object(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "promotion" in out
+        assert "local" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_no_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,169 @@
+"""Tests for the fabric central arbiter and its control lane (DP#4)."""
+
+import pytest
+
+from repro.core import ArbiterError, UniFabric
+from repro.infra import ClusterSpec, build_cluster
+from repro.pcie import CreditDomain, RampUpPolicy
+from repro.sim import Environment
+
+
+def make_unifabric(env, hosts=2):
+    cluster = build_cluster(env, ClusterSpec(hosts=hosts,
+                                             control_lane=True))
+    return UniFabric(env, cluster, with_arbiter=True)
+
+
+def run(env, gen, horizon=100_000_000):
+    proc = env.process(gen)
+    env.run(until=env.now + horizon)
+    assert proc.triggered
+    if not proc.ok:
+        raise proc.value
+    return proc.value
+
+
+class TestControlProtocol:
+    def test_query_reports_grants_and_budget(self):
+        env = Environment()
+        uni = make_unifabric(env)
+        domain = CreditDomain(env, budget=64)
+        domain.register("in0")
+        uni.arbiter.manage("sw0:fam0", domain)
+        client = uni.arbiter_client("host0")
+
+        def go():
+            return (yield from client.query("sw0:fam0"))
+
+        meta = run(env, go())
+        assert meta["budget"] == 64
+        assert "in0" in meta["grants"]
+
+    def test_reserve_takes_effect_immediately(self):
+        env = Environment()
+        uni = make_unifabric(env)
+        domain = CreditDomain(env, budget=64)
+        domain.register("in0")
+        domain.register("in1")
+        uni.arbiter.manage("sw0:fam0", domain)
+        client = uni.arbiter_client("host0")
+
+        def go():
+            grant = yield from client.reserve("sw0:fam0", "in0", 40)
+            return grant
+
+        grant = run(env, go())
+        assert grant["granted"] == 40
+        assert grant["prio"] >= 1
+        assert domain.granted("in0") == 40
+
+    def test_reclaim_releases_reservation(self):
+        env = Environment()
+        uni = make_unifabric(env)
+        domain = CreditDomain(env, budget=64)
+        domain.register("in0")
+        domain.register("in1")
+        uni.arbiter.manage("sw0:fam0", domain)
+        client = uni.arbiter_client("host0")
+
+        def go():
+            yield from client.reserve("sw0:fam0", "in0", 48)
+            before = domain.granted("in0")
+            yield from client.reclaim("sw0:fam0", "in0")
+            return before, domain.granted("in0")
+
+        before, after = run(env, go())
+        assert before == 48
+        assert after < before
+
+    def test_overcommitted_reservation_rejected(self):
+        env = Environment()
+        uni = make_unifabric(env)
+        domain = CreditDomain(env, budget=32)
+        domain.register("in0")
+        domain.register("in1")
+        uni.arbiter.manage("sw0:fam0", domain)
+        client = uni.arbiter_client("host0")
+
+        def go():
+            yield from client.reserve("sw0:fam0", "in0", 20)
+            try:
+                yield from client.reserve("sw0:fam0", "in1", 20)
+            except ArbiterError as exc:
+                return str(exc)
+            return None
+
+        error = run(env, go())
+        assert error is not None and "budget" in error
+
+    def test_unknown_op_reports_error(self):
+        env = Environment()
+        uni = make_unifabric(env)
+        client = uni.arbiter_client("host0")
+
+        def go():
+            try:
+                yield from client._call({"op": "explode"})
+            except ArbiterError as exc:
+                return str(exc)
+
+        assert "unknown op" in run(env, go())
+
+    def test_duplicate_manage_rejected(self):
+        env = Environment()
+        uni = make_unifabric(env)
+        domain = CreditDomain(env, budget=8)
+        uni.arbiter.manage("d", domain)
+        with pytest.raises(ValueError):
+            uni.arbiter.manage("d", CreditDomain(env, budget=8))
+
+    def test_manage_replaces_policy(self):
+        env = Environment()
+        uni = make_unifabric(env)
+        domain = CreditDomain(env, budget=8, policy=RampUpPolicy())
+        uni.arbiter.manage("d", domain)
+        from repro.pcie import ReservationPolicy
+        assert isinstance(domain.policy, ReservationPolicy)
+
+
+class TestUniFabricFacade:
+    def test_heaps_and_engines_per_host(self):
+        env = Environment()
+        uni = make_unifabric(env, hosts=2)
+        assert uni.heap("host0") is not uni.heap("host1")
+        assert uni.engine("host0").host.name == "host0"
+        assert "UniFabric" in uni.describe()
+
+    def test_heap_bins_cover_local_and_fams(self):
+        env = Environment()
+        uni = make_unifabric(env)
+        bins = uni.heap("host0").bins
+        assert "host0.local" in bins
+        assert "fam0" in bins
+        assert bins["fam0"].is_remote
+
+    def test_arbiter_requires_flag(self):
+        env = Environment()
+        cluster = build_cluster(env, ClusterSpec(hosts=1))
+        uni = UniFabric(env, cluster)
+        with pytest.raises(RuntimeError):
+            uni.arbiter_client()
+
+    def test_task_runtime_factory(self):
+        env = Environment()
+        uni = make_unifabric(env)
+        runtime = uni.task_runtime("host0", recovery="restart")
+        assert runtime.recovery == "restart"
+
+    def test_end_to_end_smart_pointer_via_facade(self):
+        env = Environment()
+        uni = make_unifabric(env)
+        heap = uni.heap("host0")
+        pointer = heap.allocate(4096)
+
+        def go():
+            yield from pointer.write(0)
+            yield from pointer.read(64)
+            return heap.profiler.temperature(pointer.oid)
+
+        assert run(env, go()) > 0

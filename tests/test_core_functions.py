@@ -1,0 +1,332 @@
+"""Tests for hardware cooperative scalable functions (DP#3)."""
+
+import pytest
+
+from repro import params
+from repro.core import FunctionChassis, HandlerResult, Message, ScalableFunction
+from repro.fabric import Channel, Packet, PacketKind
+from repro.pcie import FabricManager, PortRole, Topology
+from repro.sim import Environment
+
+
+def make_fabric(env, functions, coordination_ns=15.0):
+    topo = Topology(env)
+    topo.add_switch("sw0")
+    topo.add_endpoint("host0")
+    host_port = topo.connect_endpoint("sw0", "host0", role=PortRole.UPSTREAM)
+    topo.add_endpoint("faa0")
+    faa_port = topo.connect_endpoint("sw0", "faa0")
+    FabricManager(topo).configure()
+    chassis = FunctionChassis(env, faa_port, functions,
+                              coordination_ns=coordination_ns)
+    return topo, host_port, chassis
+
+
+def call_packet(host_port, topo, function, payload=None, msg_type="call",
+                await_result=True):
+    return Packet(kind=PacketKind.IO_WR, channel=Channel.CXL_IO,
+                  src=host_port.port_id,
+                  dst=topo.endpoints["faa0"].global_id,
+                  nbytes=64,
+                  meta={"function": function, "msg_type": msg_type,
+                        "payload": payload, "await": await_result})
+
+
+def run(env, gen, horizon=10_000_000):
+    proc = env.process(gen)
+    env.run(until=env.now + horizon)
+    assert proc.triggered
+    if not proc.ok:
+        raise proc.value
+    return proc.value
+
+
+class TestHandlers:
+    def test_call_roundtrip_with_result(self):
+        env = Environment()
+        doubler = ScalableFunction("doubler").on(
+            "call", lambda state, msg: HandlerResult(
+                compute_ns=100.0, value=msg.payload * 2))
+        topo, host_port, chassis = make_fabric(env, [doubler])
+
+        def go():
+            response = yield from host_port.request(
+                call_packet(host_port, topo, "doubler", payload=21))
+            return response.meta["result"]
+
+        assert run(env, go()) == 42
+        assert doubler.messages_handled == 1
+        assert doubler.busy_ns == 100.0
+
+    def test_stateful_handler_accumulates(self):
+        env = Environment()
+
+        def add(state, msg):
+            state["sum"] = state.get("sum", 0) + msg.payload
+            return HandlerResult(compute_ns=10.0, value=state["sum"])
+
+        counter = ScalableFunction("counter").on("add", add)
+        topo, host_port, chassis = make_fabric(env, [counter])
+
+        def go():
+            results = []
+            for value in (1, 2, 3):
+                response = yield from host_port.request(
+                    call_packet(host_port, topo, "counter",
+                                payload=value, msg_type="add"))
+                results.append(response.meta["result"])
+            return results
+
+        assert run(env, go()) == [1, 3, 6]
+
+    def test_fire_and_forget_accepted_immediately(self):
+        env = Environment()
+        slow = ScalableFunction("slow").on(
+            "call", lambda state, msg: HandlerResult(compute_ns=100_000.0))
+        topo, host_port, chassis = make_fabric(env, [slow])
+
+        def go():
+            start = env.now
+            response = yield from host_port.request(
+                call_packet(host_port, topo, "slow", await_result=False))
+            return env.now - start, response.meta
+
+        latency, meta = run(env, go())
+        assert meta.get("accepted") is True
+        assert latency < 1_000  # did not wait for the 100us handler
+
+    def test_unknown_function_faults(self):
+        env = Environment()
+        function = ScalableFunction("f").on(
+            "call", lambda s, m: HandlerResult())
+        topo, host_port, chassis = make_fabric(env, [function])
+
+        def go():
+            response = yield from host_port.request(
+                call_packet(host_port, topo, "ghost"))
+            return response.meta
+
+        meta = run(env, go())
+        assert meta.get("fault") is True
+
+    def test_unknown_msg_type_faults(self):
+        env = Environment()
+        function = ScalableFunction("f").on(
+            "call", lambda s, m: HandlerResult())
+        topo, host_port, chassis = make_fabric(env, [function])
+
+        def go():
+            response = yield from host_port.request(
+                call_packet(host_port, topo, "f", msg_type="nope"))
+            return response.meta
+
+        meta = run(env, go())
+        assert meta.get("fault") is True
+        assert "no handler" in meta["error"]
+
+    def test_duplicate_handler_rejected(self):
+        function = ScalableFunction("f").on(
+            "call", lambda s, m: HandlerResult())
+        with pytest.raises(ValueError):
+            function.on("call", lambda s, m: HandlerResult())
+
+
+class TestCoordinationSublayer:
+    def test_colocated_pipeline_via_local_messages(self):
+        """stage1 -> stage2 co-located: coordination, not fabric."""
+        env = Environment()
+        results = []
+
+        def stage1(state, msg):
+            out = Message(msg_type="finish", payload=msg.payload + 1,
+                          src="stage1")
+            return HandlerResult(compute_ns=50.0,
+                                 outgoing=[("stage2", out)])
+
+        def stage2(state, msg):
+            results.append(msg.payload * 10)
+            return HandlerResult(compute_ns=20.0)
+
+        functions = [ScalableFunction("stage1").on("call", stage1),
+                     ScalableFunction("stage2").on("finish", stage2)]
+        topo, host_port, chassis = make_fabric(env, functions)
+
+        def go():
+            yield from host_port.request(
+                call_packet(host_port, topo, "stage1", payload=4))
+            yield env.timeout(1_000)
+
+        run(env, go())
+        assert results == [50]
+        assert chassis.local_messages == 1
+        assert chassis.fabric_messages == 1
+
+    def test_local_message_cheaper_than_fabric_roundtrip(self):
+        env = Environment()
+        times = {}
+
+        def ping(state, msg):
+            times["sent_local"] = env.now
+            out = Message(msg_type="pong", payload=None, src="ping")
+            return HandlerResult(outgoing=[("pong", out)])
+
+        def pong(state, msg):
+            times["got_local"] = env.now
+            return HandlerResult()
+
+        functions = [ScalableFunction("ping").on("call", ping),
+                     ScalableFunction("pong").on("pong", pong)]
+        topo, host_port, chassis = make_fabric(env, functions,
+                                               coordination_ns=15.0)
+
+        def go():
+            start = env.now
+            yield from host_port.request(
+                call_packet(host_port, topo, "ping"))
+            times["fabric_rtt"] = env.now - start
+            yield env.timeout(100)
+
+        run(env, go())
+        local_cost = times["got_local"] - times["sent_local"]
+        assert local_cost < times["fabric_rtt"] / 5
+
+    def test_send_local_to_unknown_function_raises(self):
+        env = Environment()
+        function = ScalableFunction("f").on(
+            "call", lambda s, m: HandlerResult())
+        topo, host_port, chassis = make_fabric(env, [function])
+
+        def go():
+            yield from chassis.send_local("ghost", Message(msg_type="x"))
+
+        with pytest.raises(KeyError):
+            run(env, go())
+
+
+class TestValidation:
+    def test_empty_function_list_rejected(self):
+        env = Environment()
+        topo = Topology(env)
+        topo.add_switch("sw0")
+        topo.add_endpoint("faa0")
+        port = topo.connect_endpoint("sw0", "faa0")
+        with pytest.raises(ValueError):
+            FunctionChassis(env, port, [])
+
+    def test_duplicate_function_names_rejected(self):
+        env = Environment()
+        topo = Topology(env)
+        topo.add_switch("sw0")
+        topo.add_endpoint("faa0")
+        port = topo.connect_endpoint("sw0", "faa0")
+        functions = [ScalableFunction("same"), ScalableFunction("same")]
+        with pytest.raises(ValueError):
+            FunctionChassis(env, port, functions)
+
+
+class TestContextMigration:
+    """Difference #4: checkpoint and ship execution contexts."""
+
+    def _two_chassis(self, env):
+        from repro.core import FunctionChassis
+        topo = Topology(env)
+        topo.add_switch("sw0")
+        topo.add_endpoint("host0")
+        host_port = topo.connect_endpoint("sw0", "host0",
+                                          role=PortRole.UPSTREAM)
+        ports = {}
+        for name in ("faaA", "faaB"):
+            topo.add_endpoint(name)
+            ports[name] = topo.connect_endpoint("sw0", name)
+        FabricManager(topo).configure()
+
+        def counting(state, msg):
+            state["count"] = state.get("count", 0) + 1
+            return HandlerResult(compute_ns=10.0, value=state["count"])
+
+        fn = ScalableFunction("counter").on("bump", counting)
+        src = FunctionChassis(env, ports["faaA"], [fn], name="faaA")
+        # Destination needs at least one resident function.
+        sentinel = ScalableFunction("sentinel").on(
+            "noop", lambda s, m: HandlerResult())
+        dst = FunctionChassis(env, ports["faaB"], [sentinel],
+                              name="faaB")
+        return topo, host_port, src, dst
+
+    def _bump(self, host_port, topo, faa_name):
+        return Packet(kind=PacketKind.IO_WR, channel=Channel.CXL_IO,
+                      src=host_port.port_id,
+                      dst=topo.endpoints[faa_name].global_id,
+                      nbytes=64,
+                      meta={"function": "counter", "msg_type": "bump"})
+
+    def test_state_survives_migration(self):
+        from repro.core import migrate_function
+        env = Environment()
+        topo, host_port, src, dst = self._two_chassis(env)
+        results = []
+
+        def go():
+            for _ in range(3):
+                rsp = yield from host_port.request(
+                    self._bump(host_port, topo, "faaA"))
+                results.append(rsp.meta["result"])
+            yield from migrate_function(
+                env, host_port, src, dst,
+                topo.endpoints["faaB"].global_id, "counter")
+            for _ in range(2):
+                rsp = yield from host_port.request(
+                    self._bump(host_port, topo, "faaB"))
+                results.append(rsp.meta["result"])
+
+        proc = env.process(go())
+        env.run(until=10_000_000, until_event=proc)
+        assert proc.ok, proc.value
+        assert results == [1, 2, 3, 4, 5]   # the count carried over
+
+    def test_source_no_longer_serves_after_checkpoint(self):
+        from repro.core import migrate_function
+        env = Environment()
+        topo, host_port, src, dst = self._two_chassis(env)
+
+        def go():
+            yield from migrate_function(
+                env, host_port, src, dst,
+                topo.endpoints["faaB"].global_id, "counter")
+            rsp = yield from host_port.request(
+                self._bump(host_port, topo, "faaA"))
+            return rsp.meta
+
+        proc = env.process(go())
+        env.run(until=10_000_000, until_event=proc)
+        assert proc.ok, proc.value
+        assert proc.value.get("fault") is True
+
+    def test_pending_messages_travel_with_the_context(self):
+        env = Environment()
+        topo, host_port, src, dst = self._two_chassis(env)
+        # Stuff the mailbox directly, then checkpoint before the core
+        # can drain it (no sim time has elapsed).
+        counter = src.functions["counter"]
+        from repro.core import Message as CoreMessage
+        counter.mailbox.put(CoreMessage(msg_type="bump"))
+        counter.mailbox.put(CoreMessage(msg_type="bump"))
+        context = src.checkpoint("counter")
+        assert len(context.pending) == 2
+        restored = dst.restore(context)
+        env.run(until=1_000)
+        assert restored.state["count"] == 2
+
+    def test_checkpoint_unknown_function_raises(self):
+        env = Environment()
+        topo, host_port, src, dst = self._two_chassis(env)
+        with pytest.raises(KeyError):
+            src.checkpoint("ghost")
+
+    def test_restore_duplicate_rejected(self):
+        env = Environment()
+        topo, host_port, src, dst = self._two_chassis(env)
+        context = src.checkpoint("counter")
+        dst.restore(context)
+        with pytest.raises(ValueError):
+            dst.restore(context)

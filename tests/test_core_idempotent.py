@@ -1,0 +1,242 @@
+"""Tests for the task IR, idempotence analysis, and recovery runtime."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    FailureInjector,
+    IdempotentTask,
+    Op,
+    OpKind,
+    Task,
+    TaskRuntime,
+    find_regions,
+    is_idempotent,
+)
+from repro.infra import ClusterSpec, FaaSpec, build_cluster
+from repro.sim import Environment, SimRng
+
+
+def run(env, gen, horizon=1_000_000_000):
+    proc = env.process(gen)
+    env.run(until=env.now + horizon)
+    assert proc.triggered
+    if not proc.ok:
+        raise proc.value
+    return proc.value
+
+
+class TestTaskIr:
+    def test_fluent_builder(self):
+        task = (Task("t").read(0x100).compute(50).write(0x200)
+                .call("fft", duration_ns=10))
+        assert len(task) == 4
+        assert [op.kind for op in task.ops] == [
+            OpKind.READ, OpKind.COMPUTE, OpKind.WRITE, OpKind.CALL]
+
+    def test_op_lines_span(self):
+        op = Op(OpKind.READ, addr=0x20, nbytes=128)
+        assert op.lines() == frozenset({0, 1, 2})
+
+    def test_compute_has_no_lines(self):
+        assert Op(OpKind.COMPUTE, duration_ns=5).lines() == frozenset()
+
+    def test_op_validation(self):
+        with pytest.raises(ValueError):
+            Op(OpKind.READ, addr=0, nbytes=0)
+        with pytest.raises(ValueError):
+            Op(OpKind.COMPUTE, duration_ns=-1)
+        with pytest.raises(ValueError):
+            Op(OpKind.CALL)
+
+
+class TestIdempotenceAnalysis:
+    def test_read_then_write_elsewhere_is_idempotent(self):
+        task = Task("t").read(0x000).write(0x1000)
+        assert is_idempotent(task.ops)
+        assert len(find_regions(task)) == 1
+
+    def test_clobbering_own_input_is_not_idempotent(self):
+        task = Task("t").read(0x100).write(0x100)
+        assert not is_idempotent(task.ops)
+
+    def test_clobber_cuts_region_before_write(self):
+        task = Task("t").read(0x100).compute(10).write(0x100).read(0x200)
+        regions = find_regions(task)
+        assert len(regions) == 2
+        assert regions[0].ops[-1].kind is OpKind.COMPUTE
+        assert regions[1].ops[0].kind is OpKind.WRITE
+
+    def test_write_then_read_then_write_same_line_is_idempotent(self):
+        # The read observes the region's own output, not a live-in:
+        # replay regenerates it, so no cut is needed.
+        task = Task("t").write(0x100).read(0x100).write(0x100)
+        assert is_idempotent(task.ops)
+        assert len(find_regions(task)) == 1
+
+    def test_partial_line_overlap_detected(self):
+        task = Task("t").read(0x100, nbytes=128).write(0x140)
+        assert not is_idempotent(task.ops)
+
+    def test_regions_cover_all_ops_in_order(self):
+        task = Task("t")
+        for i in range(8):
+            task.read(i * 64)
+            task.write(i * 64)   # clobber every time
+        regions = find_regions(task)
+        flattened = [op for region in regions for op in region.ops]
+        assert flattened == task.ops
+
+    def test_idempotent_task_wrapper(self):
+        # read0 | write0 read40 | write40 : each write clobbers a
+        # live-in of its region, so the cut lands before both writes.
+        task = Task("t").read(0x0).write(0x0).read(0x40).write(0x40)
+        idem = IdempotentTask(task)
+        assert idem.region_count == 3
+        assert idem.max_replay_ops == 2
+        assert "3 regions" in repr(idem)
+
+
+# Property: every region the analysis produces is itself idempotent,
+# and the cut preserves op order and count.
+random_ops = st.lists(
+    st.tuples(st.sampled_from([OpKind.READ, OpKind.WRITE, OpKind.COMPUTE]),
+              st.integers(min_value=0, max_value=12)),
+    max_size=80)
+
+
+@settings(max_examples=200, deadline=None)
+@given(random_ops)
+def test_property_regions_are_idempotent(spec):
+    task = Task("prop")
+    for kind, line in spec:
+        if kind is OpKind.COMPUTE:
+            task.compute(1.0)
+        elif kind is OpKind.READ:
+            task.read(line * 64)
+        else:
+            task.write(line * 64)
+    regions = find_regions(task)
+    for region in regions:
+        assert is_idempotent(region.ops)
+    assert sum(len(r) for r in regions) == len(task.ops)
+
+
+@settings(max_examples=100, deadline=None)
+@given(random_ops)
+def test_property_replay_is_safe(spec):
+    """Replaying any region from its start gives the same final memory.
+
+    Simulated over a value store: each write stamps (op position);
+    replay of a region must leave memory exactly as a single execution.
+    """
+    task = Task("prop")
+    for kind, line in spec:
+        if kind is OpKind.COMPUTE:
+            task.compute(1.0)
+        elif kind is OpKind.READ:
+            task.read(line * 64)
+        else:
+            task.write(line * 64)
+    regions = find_regions(task)
+
+    def execute(replay_each_region_twice):
+        memory = {}
+        for region in regions:
+            rounds = 2 if replay_each_region_twice else 1
+            for _ in range(rounds):
+                for position, op in enumerate(region.ops):
+                    if op.kind is OpKind.WRITE:
+                        for line in op.lines():
+                            memory[line] = (region.index, position)
+        return memory
+
+    assert execute(False) == execute(True)
+
+
+class TestRuntimeRecovery:
+    def _cluster(self):
+        env = Environment()
+        cluster = build_cluster(env, ClusterSpec(hosts=1))
+        return env, cluster
+
+    def make_task(self, base=0, regions=8, ops_per_region=6):
+        task = Task("bench")
+        for r in range(regions):
+            line = base + r * 0x1000
+            for i in range(ops_per_region - 1):
+                task.read(line + i * 64)
+            task.write(line)   # clobbers the first read: cuts here
+        return task
+
+    def test_no_failures_runs_clean(self):
+        env, cluster = self._cluster()
+        runtime = TaskRuntime(env, cluster.host(0))
+        task = self.make_task()
+
+        def go():
+            return (yield from runtime.execute(task))
+
+        result = run(env, go())
+        assert result.failures == 0
+        assert result.replayed_ops == 0
+        assert result.useful_ops == len(task.ops)
+
+    def test_failures_replay_only_region(self):
+        env, cluster = self._cluster()
+        injector = FailureInjector(rate=0.05, rng=SimRng(3))
+        runtime = TaskRuntime(env, cluster.host(0), injector=injector)
+        task = self.make_task(regions=16)
+        idem = IdempotentTask(task)
+
+        def go():
+            return (yield from runtime.execute(idem))
+
+        result = run(env, go())
+        assert result.failures > 0
+        assert result.useful_ops == len(task.ops)
+        # One failure can waste at most one region's worth of ops.
+        assert result.replayed_ops <= result.failures * idem.max_replay_ops
+
+    def test_restart_wastes_more_than_idempotent(self):
+        def waste(recovery):
+            env, cluster = self._cluster()
+            injector = FailureInjector(rate=0.02, rng=SimRng(11))
+            runtime = TaskRuntime(env, cluster.host(0),
+                                  injector=injector, recovery=recovery)
+            task = self.make_task(regions=12)
+
+            def go():
+                return (yield from runtime.execute(task))
+
+            return run(env, go())
+
+        idem = waste("idempotent")
+        restart = waste("restart")
+        assert restart.replayed_ops > idem.replayed_ops
+
+    def test_accelerator_call_op(self):
+        env = Environment()
+        cluster = build_cluster(env, ClusterSpec(
+            hosts=1, faas=[FaaSpec(name="faa0")]))
+        accel = next(iter(cluster.faa("faa0").accelerators.values()))
+        accel.register("fft", lambda req: (200.0, "ok"))
+        runtime = TaskRuntime(env, cluster.host(0),
+                              faa_ids={"faa0": cluster.endpoint_id("faa0")})
+        task = Task("t").call("fft", accelerator="faa0")
+
+        def go():
+            return (yield from runtime.execute(task))
+
+        result = run(env, go())
+        assert result.useful_ops == 1
+        assert accel.invocations == 1
+
+    def test_injector_validation(self):
+        with pytest.raises(ValueError):
+            FailureInjector(rate=1.0)
+
+    def test_runtime_validation(self):
+        env, cluster = self._cluster()
+        with pytest.raises(ValueError):
+            TaskRuntime(env, cluster.host(0), recovery="magic")

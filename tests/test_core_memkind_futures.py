@@ -1,0 +1,233 @@
+"""Tests for the memkind veneer and distributed futures."""
+
+import pytest
+
+from repro.core import (
+    MEMKIND_DEFAULT,
+    MEMKIND_FABRIC,
+    MEMKIND_LOCAL,
+    DistributedFuture,
+    FutureExecutor,
+    HeapError,
+    MemkindAllocator,
+    MovementOrchestrator,
+    UnifiedHeap,
+    gather,
+)
+from repro.infra import ClusterSpec, build_cluster
+from repro.sim import Environment
+
+
+def make_allocator(env):
+    cluster = build_cluster(env, ClusterSpec(hosts=1))
+    host = cluster.host(0)
+    engine = MovementOrchestrator(env).attach_host(host)
+    heap = UnifiedHeap(env, host, engine)
+    heap.add_bin("local", start=1 << 20, size=1 << 20, tier="local",
+                 is_remote=False)
+    heap.add_bin("fam0", start=host.remote_base("fam0"), size=1 << 20,
+                 tier="cpuless-numa", is_remote=True)
+    return MemkindAllocator(heap)
+
+
+class TestMemkind:
+    def test_local_kind_places_locally(self):
+        env = Environment()
+        allocator = make_allocator(env)
+        pointer = allocator.kind_malloc(MEMKIND_LOCAL, 4096)
+        assert pointer.tier == "local"
+
+    def test_fabric_kind_places_remotely(self):
+        env = Environment()
+        allocator = make_allocator(env)
+        pointer = allocator.kind_malloc(MEMKIND_FABRIC, 4096)
+        assert pointer.tier == "cpuless-numa"
+
+    def test_calloc_multiplies(self):
+        env = Environment()
+        allocator = make_allocator(env)
+        pointer = allocator.kind_calloc(MEMKIND_DEFAULT, 16, 64)
+        assert allocator.usable_size(pointer) == 1024
+
+    def test_detect_kind(self):
+        env = Environment()
+        allocator = make_allocator(env)
+        pointer = allocator.kind_malloc(MEMKIND_FABRIC, 64)
+        assert allocator.detect_kind(pointer) is MEMKIND_FABRIC
+
+    def test_free_with_autodetect(self):
+        env = Environment()
+        allocator = make_allocator(env)
+        pointer = allocator.kind_malloc(MEMKIND_LOCAL, 64)
+        allocator.kind_free(None, pointer)
+        assert not pointer.valid
+        assert allocator.stats() == {}
+
+    def test_free_with_wrong_kind_rejected(self):
+        env = Environment()
+        allocator = make_allocator(env)
+        pointer = allocator.kind_malloc(MEMKIND_LOCAL, 64)
+        with pytest.raises(HeapError):
+            allocator.kind_free(MEMKIND_FABRIC, pointer)
+
+    def test_foreign_pointer_rejected(self):
+        env = Environment()
+        allocator = make_allocator(env)
+        foreign = allocator.heap.allocate(64)   # not via the allocator
+        with pytest.raises(HeapError):
+            allocator.kind_free(None, foreign)
+
+    def test_custom_kind_and_pinning(self):
+        env = Environment()
+        allocator = make_allocator(env)
+        kind = allocator.create_kind("memkind_hot_pinned",
+                                     prefer_tier="local", pinned=True)
+        pointer = allocator.kind_malloc(kind, 64)
+        assert allocator.heap.object_of(pointer).pinned
+        with pytest.raises(ValueError):
+            allocator.create_kind("memkind_hot_pinned", None)
+
+    def test_stats_by_kind(self):
+        env = Environment()
+        allocator = make_allocator(env)
+        allocator.kind_malloc(MEMKIND_LOCAL, 128)
+        allocator.kind_malloc(MEMKIND_LOCAL, 128)
+        allocator.kind_malloc(MEMKIND_FABRIC, 64)
+        stats = allocator.stats()
+        assert stats["memkind_local"] == 256
+        assert stats["memkind_fabric"] == 64
+
+
+class TestFutures:
+    def test_submit_resolves_with_return_value(self):
+        env = Environment()
+        executor = FutureExecutor(env, "host0")
+
+        def work():
+            yield env.timeout(10)
+            return 21
+
+        future = executor.submit(work())
+        env.run(until=100)
+        assert future.done and future.value == 21
+        assert future.owner == "host0"
+
+    def test_wait_from_another_process(self):
+        env = Environment()
+        executor = FutureExecutor(env, "host0")
+
+        def work():
+            yield env.timeout(10)
+            return "data"
+
+        future = executor.submit(work())
+        seen = []
+
+        def consumer():
+            value = yield future.wait()
+            seen.append((env.now, value))
+
+        env.process(consumer())
+        env.run(until=100)
+        assert seen == [(10, "data")]
+
+    def test_rejection_propagates(self):
+        env = Environment()
+        executor = FutureExecutor(env, "host0")
+
+        def bad():
+            yield env.timeout(1)
+            raise ValueError("nope")
+
+        future = executor.submit(bad())
+        caught = []
+
+        def consumer():
+            try:
+                yield future.wait()
+            except ValueError as error:
+                caught.append(str(error))
+
+        env.process(consumer())
+        env.run(until=100)
+        assert caught == ["nope"]
+
+    def test_then_chains_transformations(self):
+        env = Environment()
+        executor = FutureExecutor(env, "host0")
+
+        def work():
+            yield env.timeout(5)
+            return 10
+
+        final = executor.submit(work()).then(lambda v: v * 2) \
+            .then(lambda v: v + 1)
+        env.run(until=100)
+        assert final.value == 21
+
+    def test_then_transfers_ownership(self):
+        env = Environment()
+        a = FutureExecutor(env, "hostA")
+        b = FutureExecutor(env, "hostB")
+
+        def work():
+            yield env.timeout(1)
+            return 1
+
+        upstream = a.submit(work())
+        downstream = upstream.then(lambda v: v, executor=b)
+        env.run(until=100)
+        assert upstream.owner == "hostA"
+        assert downstream.owner == "hostB"
+
+    def test_then_flattens_nested_future(self):
+        env = Environment()
+        executor = FutureExecutor(env, "host0")
+
+        def inner():
+            yield env.timeout(3)
+            return "inner-value"
+
+        future = executor.value(0).then(
+            lambda _: executor.submit(inner()))
+        env.run(until=100)
+        assert future.value == "inner-value"
+
+    def test_gather_preserves_order(self):
+        env = Environment()
+        executor = FutureExecutor(env, "host0")
+
+        def work(delay, tag):
+            yield env.timeout(delay)
+            return tag
+
+        futures = [executor.submit(work(30, "slow")),
+                   executor.submit(work(10, "fast"))]
+        joined = gather(env, futures)
+        env.run(until=100)
+        assert joined.value == ["slow", "fast"]
+
+    def test_gather_rejects_on_any_failure(self):
+        env = Environment()
+        executor = FutureExecutor(env, "host0")
+
+        def bad():
+            yield env.timeout(1)
+            raise RuntimeError("boom")
+
+        def good():
+            yield env.timeout(2)
+            return 1
+
+        joined = gather(env, [executor.submit(good()),
+                              executor.submit(bad())])
+        env.run(until=100)
+        assert joined.done
+        with pytest.raises(RuntimeError):
+            _ = joined.value
+
+    def test_unresolved_value_raises(self):
+        env = Environment()
+        future = DistributedFuture(env, "host0")
+        with pytest.raises(RuntimeError):
+            _ = future.value

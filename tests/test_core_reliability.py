@@ -1,0 +1,224 @@
+"""Tests for the passive-failure-domain reliability layer."""
+
+import pytest
+
+from repro.core import (
+    CentralMemoryManager,
+    ReliabilityError,
+    ShardState,
+)
+from repro.infra import ClusterSpec, FamSpec, build_cluster
+from repro.sim import Environment
+
+
+def make_setup(chassis=3, spares=True):
+    """Cluster with several FAM chassis + a manager over them."""
+    env = Environment()
+    fams = [FamSpec(name=f"fam{i}", capacity_bytes=1 << 26)
+            for i in range(chassis)]
+    cluster = build_cluster(env, ClusterSpec(hosts=1, fams=fams))
+    host = cluster.host(0)
+    manager = CentralMemoryManager(env)
+    for i in range(chassis):
+        base = host.remote_base(f"fam{i}")
+        spare_bases = [base + (8 << 20)] if spares else []
+        manager.register_chassis(f"fam{i}", spare_bases=spare_bases)
+    return env, cluster, host, manager
+
+
+def placements(host, names, offset=0):
+    return [(name, host.remote_base(name) + offset) for name in names]
+
+
+def run(env, gen, horizon=100_000_000_000):
+    proc = env.process(gen)
+    env.run(until=env.now + horizon, until_event=proc)
+    assert proc.triggered
+    if not proc.ok:
+        raise proc.value
+    return proc.value
+
+
+class TestRegionCreation:
+    def test_create_and_geometry(self):
+        env, _, host, manager = make_setup()
+        region = manager.create_region(
+            host, "r0", placements(host, ["fam0", "fam1", "fam2"]),
+            shard_bytes=64 * 1024, parity=1)
+        assert region.size == 2 * 64 * 1024
+        assert region.fault_tolerance == 1
+        assert len(region.parity_shards) == 1
+
+    def test_shards_must_be_on_distinct_chassis(self):
+        env, _, host, manager = make_setup()
+        base = host.remote_base("fam0")
+        with pytest.raises(ReliabilityError):
+            manager.create_region(
+                host, "bad", [("fam0", base), ("fam0", base + (1 << 20))],
+                shard_bytes=4096, parity=1)
+
+    def test_parity_count_validated(self):
+        env, _, host, manager = make_setup()
+        with pytest.raises(ReliabilityError):
+            manager.create_region(
+                host, "bad", placements(host, ["fam0", "fam1"]),
+                shard_bytes=4096, parity=2)
+
+    def test_unknown_chassis_rejected(self):
+        env, _, host, manager = make_setup()
+        with pytest.raises(ReliabilityError):
+            manager.create_region(host, "bad", [("ghost", 0)],
+                                  shard_bytes=4096, parity=0)
+
+    def test_duplicate_region_rejected(self):
+        env, _, host, manager = make_setup()
+        manager.create_region(host, "r0",
+                              placements(host, ["fam0", "fam1"]),
+                              shard_bytes=4096, parity=1)
+        with pytest.raises(ValueError):
+            manager.create_region(host, "r0",
+                                  placements(host, ["fam1", "fam2"],
+                                             offset=1 << 20),
+                                  shard_bytes=4096, parity=1)
+
+
+class TestHealthyPath:
+    def test_read_write_roundtrip(self):
+        env, _, host, manager = make_setup()
+        region = manager.create_region(
+            host, "r0", placements(host, ["fam0", "fam1", "fam2"]),
+            shard_bytes=64 * 1024, parity=1)
+
+        def go():
+            yield from region.write(0x100)
+            path = yield from region.read(0x100)
+            return path
+
+        assert run(env, go()) == "fast"
+        assert region.reads == 1 and region.writes == 1
+        assert region.degraded_reads == 0
+
+    def test_write_touches_parity(self):
+        """The write path must pay the parity RMW (frugal but real)."""
+        env, _, host, manager = make_setup()
+        plain = manager.create_region(
+            host, "plain", placements(host, ["fam0"]),
+            shard_bytes=64 * 1024, parity=0)
+        coded = manager.create_region(
+            host, "coded", placements(host, ["fam1", "fam2"],
+                                      offset=1 << 20),
+            shard_bytes=64 * 1024, parity=1)
+
+        def go():
+            start = env.now
+            yield from plain.write(0x4000)
+            unprotected = env.now - start
+            start = env.now
+            yield from coded.write(0x4000)
+            protected = env.now - start
+            return unprotected, protected
+
+        unprotected, protected = run(env, go())
+        assert protected > unprotected
+
+    def test_bounds_checked(self):
+        env, _, host, manager = make_setup()
+        region = manager.create_region(
+            host, "r0", placements(host, ["fam0", "fam1"]),
+            shard_bytes=4096, parity=1)
+
+        def go():
+            yield from region.read(4096)   # beyond single data shard
+
+        with pytest.raises(ReliabilityError):
+            run(env, go())
+
+
+class TestFailureAndRecovery:
+    def _region(self, spares=True):
+        env, cluster, host, manager = make_setup(chassis=4,
+                                                 spares=spares)
+        region = manager.create_region(
+            host, "r0", placements(host, ["fam0", "fam1", "fam2"]),
+            shard_bytes=16 * 1024, parity=1)
+        return env, host, manager, region
+
+    def test_failure_marks_shards_lost(self):
+        env, _, manager, region = self._region()
+        affected = manager.chassis_failed("fam0")
+        assert affected == ["r0"]
+        assert len(region.lost_shards()) == 1
+        assert "fam0" not in manager.healthy_chassis()
+
+    def test_degraded_read_survives_single_failure(self):
+        env, host, manager, region = self._region()
+
+        def go():
+            yield from region.write(0x100)
+            manager.chassis_failed("fam0")   # loses data shard 0
+            path = yield from region.read(0x100)
+            return path
+
+        assert run(env, go()) == "degraded"
+        assert region.degraded_reads == 1
+
+    def test_degraded_read_is_slower(self):
+        env, host, manager, region = self._region()
+
+        def go():
+            start = env.now
+            yield from region.read(0x100)
+            fast = env.now - start
+            manager.chassis_failed("fam0")
+            start = env.now
+            yield from region.read(0x100)
+            degraded = env.now - start
+            return fast, degraded
+
+        fast, degraded = run(env, go())
+        assert degraded > fast
+
+    def test_double_failure_exceeds_code(self):
+        env, host, manager, region = self._region()
+        manager.chassis_failed("fam0")
+        manager.chassis_failed("fam1")
+
+        def go():
+            yield from region.read(0x100)
+
+        with pytest.raises(ReliabilityError):
+            run(env, go())
+
+    def test_reconstruction_restores_fast_path(self):
+        env, host, manager, region = self._region()
+
+        def go():
+            manager.chassis_failed("fam0")
+            rebuilt = yield from manager.reconstruct("r0")
+            path = yield from region.read(0x100)
+            return rebuilt, path
+
+        rebuilt, path = run(env, go())
+        assert rebuilt == 1
+        assert path == "fast"
+        # The rebuilt shard moved to the spare chassis (fam3).
+        chassis = {s.chassis for s in region.data_shards}
+        assert "fam0" not in chassis
+        assert all(s.state is ShardState.HEALTHY
+                   for s in region.data_shards + region.parity_shards)
+
+    def test_reconstruction_without_spares_fails(self):
+        env, host, manager, region = self._region(spares=False)
+
+        def go():
+            manager.chassis_failed("fam0")
+            yield from manager.reconstruct("r0")
+
+        with pytest.raises(ReliabilityError):
+            run(env, go())
+
+    def test_describe(self):
+        env, host, manager, region = self._region()
+        manager.chassis_failed("fam0")
+        text = manager.describe()
+        assert "r0" in text and "lost" in text

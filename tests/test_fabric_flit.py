@@ -1,0 +1,141 @@
+"""Unit tests for packets, flits, tags, fragmentation, reassembly."""
+
+import pytest
+
+from repro import params
+from repro.fabric import (
+    Channel,
+    Packet,
+    PacketKind,
+    Reassembler,
+    TagAllocator,
+    fragment,
+)
+
+
+def make_packet(kind=PacketKind.MEM_RD, nbytes=64, **kw):
+    return Packet(kind=kind, channel=Channel.CXL_MEM, src=1, dst=2,
+                  addr=0x1000, nbytes=nbytes, **kw)
+
+
+class TestPacket:
+    def test_wire_bytes_request_has_no_payload(self):
+        assert make_packet(PacketKind.MEM_RD).wire_bytes == 16
+
+    def test_wire_bytes_write_carries_payload(self):
+        assert make_packet(PacketKind.MEM_WR, nbytes=64).wire_bytes == 80
+
+    def test_make_response_swaps_endpoints(self):
+        req = make_packet(PacketKind.MEM_RD, tag=7)
+        rsp = req.make_response()
+        assert rsp.kind is PacketKind.MEM_RD_DATA
+        assert (rsp.src, rsp.dst) == (req.dst, req.src)
+        assert rsp.tag == 7
+        assert rsp.nbytes == req.nbytes
+
+    def test_make_response_write_ack_has_no_payload(self):
+        rsp = make_packet(PacketKind.MEM_WR).make_response()
+        assert rsp.kind is PacketKind.MEM_WR_ACK
+        assert rsp.nbytes == 0
+
+    def test_make_response_rejects_non_request(self):
+        rsp = make_packet(PacketKind.MEM_RD).make_response()
+        with pytest.raises(ValueError):
+            rsp.make_response()
+
+    def test_uids_unique(self):
+        assert make_packet().uid != make_packet().uid
+
+
+class TestFragmentation:
+    def test_single_cacheline_fits_one_small_flit(self):
+        # 16B header + 64B payload = 80B -> 2 x 64B-payload flits
+        flits = fragment(make_packet(PacketKind.MEM_WR, nbytes=64))
+        assert len(flits) == 2
+        assert flits[0].total == 2
+        assert flits[-1].is_tail
+
+    def test_read_request_is_single_flit(self):
+        flits = fragment(make_packet(PacketKind.MEM_RD))
+        assert len(flits) == 1
+
+    def test_large_flit_mode_uses_fewer_flits(self):
+        pkt = make_packet(PacketKind.MEM_WR, nbytes=16 * 1024)
+        small = fragment(pkt, params.FLIT_BYTES_SMALL)
+        large = fragment(pkt, params.FLIT_BYTES_LARGE)
+        assert len(large) < len(small)
+        assert len(small) == -(-pkt.wire_bytes // 64)
+
+    def test_vc_propagates_to_flits(self):
+        flits = fragment(make_packet(PacketKind.MEM_WR, nbytes=256), vc=1)
+        assert all(f.vc == 1 for f in flits)
+
+
+class TestReassembler:
+    def test_roundtrip_in_order(self):
+        pkt = make_packet(PacketKind.MEM_WR, nbytes=256)
+        reasm = Reassembler()
+        flits = fragment(pkt)
+        for flit in flits[:-1]:
+            assert reasm.push(flit) is None
+        assert reasm.push(flits[-1]) is pkt
+        assert reasm.pending_packets == 0
+
+    def test_interleaved_packets(self):
+        a = make_packet(PacketKind.MEM_WR, nbytes=128)
+        b = make_packet(PacketKind.MEM_WR, nbytes=128)
+        reasm = Reassembler()
+        fa, fb = fragment(a), fragment(b)
+        order = [fa[0], fb[0], fa[1], fb[1], fa[2], fb[2]]
+        done = [p for p in (reasm.push(f) for f in order) if p is not None]
+        assert done == [a, b]
+
+    def test_duplicate_flit_rejected(self):
+        pkt = make_packet(PacketKind.MEM_RD)
+        reasm = Reassembler()
+        flit = fragment(pkt)[0]
+        reasm.push(flit)
+        with pytest.raises(ValueError):
+            reasm.push(flit)
+
+
+class TestTagAllocator:
+    def test_allocate_free_cycle(self):
+        tags = TagAllocator(4)
+        got = [tags.allocate() for _ in range(4)]
+        assert len(set(got)) == 4
+        assert tags.available == 0
+        tags.free(got[0])
+        assert tags.available == 1
+        assert tags.in_use == 3
+
+    def test_exhaustion_raises(self):
+        tags = TagAllocator(1)
+        tags.allocate()
+        with pytest.raises(RuntimeError):
+            tags.allocate()
+
+    def test_double_free_rejected(self):
+        tags = TagAllocator(2)
+        tag = tags.allocate()
+        tags.free(tag)
+        with pytest.raises(ValueError):
+            tags.free(tag)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TagAllocator(0)
+
+
+class TestFlitCount:
+    @pytest.mark.parametrize("payload,expected", [
+        (0, 1), (1, 1), (64, 1), (65, 2), (128, 2), (16 * 1024, 256),
+    ])
+    def test_small_flit_counts(self, payload, expected):
+        assert params.flit_count(payload, params.FLIT_BYTES_SMALL) == expected
+
+    @pytest.mark.parametrize("payload,expected", [
+        (64, 1), (192, 1), (193, 2), (16 * 1024, 86),
+    ])
+    def test_large_flit_counts(self, payload, expected):
+        assert params.flit_count(payload, params.FLIT_BYTES_LARGE) == expected

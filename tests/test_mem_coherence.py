@@ -1,0 +1,168 @@
+"""Tests for the CC-NUMA directory protocol, incl. property tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem import CoherenceError, Directory, LineState
+
+
+def do_access(directory, addr, host, is_write):
+    action = directory.begin_access(addr, host, is_write)
+    directory.complete_access(addr, host, is_write)
+    return action
+
+
+class TestReadPath:
+    def test_cold_read_no_snoops(self):
+        d = Directory()
+        action = d.begin_access(0x100, 1, False)
+        assert action.is_noop
+        d.complete_access(0x100, 1, False)
+        assert d.state_of(0x100) is LineState.SHARED
+        assert d.sharers_of(0x100) == {1}
+
+    def test_multiple_readers_share(self):
+        d = Directory()
+        for host in (1, 2, 3):
+            action = do_access(d, 0x100, host, False)
+            assert action.is_noop
+        assert d.sharers_of(0x100) == {1, 2, 3}
+
+    def test_read_after_foreign_write_forces_writeback(self):
+        d = Directory()
+        do_access(d, 0x100, 1, True)
+        action = d.begin_access(0x100, 2, False)
+        assert action.writeback_from == 1
+        assert not action.invalidate
+        d.complete_access(0x100, 2, False)
+        assert d.state_of(0x100) is LineState.SHARED
+        assert d.sharers_of(0x100) == {1, 2}
+
+
+class TestWritePath:
+    def test_cold_write_no_snoops(self):
+        d = Directory()
+        action = do_access(d, 0x100, 1, True)
+        assert action.is_noop
+        assert d.state_of(0x100) is LineState.EXCLUSIVE
+
+    def test_write_invalidates_all_other_sharers(self):
+        d = Directory()
+        for host in (1, 2, 3):
+            do_access(d, 0x100, host, False)
+        action = d.begin_access(0x100, 1, True)
+        assert action.invalidate == frozenset({2, 3})
+        d.complete_access(0x100, 1, True)
+        assert d.sharers_of(0x100) == {1}
+        assert d.state_of(0x100) is LineState.EXCLUSIVE
+
+    def test_write_after_foreign_write_fetches_and_invalidates(self):
+        d = Directory()
+        do_access(d, 0x100, 1, True)
+        action = d.begin_access(0x100, 2, True)
+        assert action.writeback_from == 1
+        assert action.invalidate == frozenset({1})
+        d.complete_access(0x100, 2, True)
+        assert d.entry(0x100).owner == 2
+
+    def test_repeated_write_by_owner_is_silent(self):
+        d = Directory()
+        do_access(d, 0x100, 1, True)
+        action = d.begin_access(0x100, 1, True)
+        assert action.is_noop
+
+
+class TestEviction:
+    def test_evict_last_sharer_uncaches(self):
+        d = Directory()
+        do_access(d, 0x100, 1, False)
+        d.evict(0x100, 1)
+        assert d.state_of(0x100) is LineState.UNCACHED
+
+    def test_evict_owner_releases_exclusivity(self):
+        d = Directory()
+        do_access(d, 0x100, 1, True)
+        d.evict(0x100, 1)
+        assert d.state_of(0x100) is LineState.UNCACHED
+        assert d.entry(0x100).owner is None
+
+    def test_evict_one_of_many_keeps_shared(self):
+        d = Directory()
+        do_access(d, 0x100, 1, False)
+        do_access(d, 0x100, 2, False)
+        d.evict(0x100, 1)
+        assert d.state_of(0x100) is LineState.SHARED
+        assert d.sharers_of(0x100) == {2}
+
+    def test_evict_stranger_is_noop(self):
+        d = Directory()
+        do_access(d, 0x100, 1, False)
+        d.evict(0x100, 9)
+        assert d.sharers_of(0x100) == {1}
+
+
+class TestLineGranularity:
+    def test_same_line_offsets_share_entry(self):
+        d = Directory(line_bytes=64)
+        do_access(d, 0x100, 1, True)
+        action = d.begin_access(0x120, 2, False)  # same 64B line
+        assert action.writeback_from == 1
+
+    def test_different_lines_independent(self):
+        d = Directory(line_bytes=64)
+        do_access(d, 0x100, 1, True)
+        action = d.begin_access(0x140, 2, True)
+        assert action.is_noop
+
+
+class TestStatsAndValidation:
+    def test_counters(self):
+        d = Directory()
+        do_access(d, 0x100, 1, False)
+        do_access(d, 0x100, 2, False)
+        do_access(d, 0x100, 3, True)
+        assert d.invalidations_sent == 2
+        do_access(d, 0x100, 1, False)
+        assert d.writebacks_forced == 1
+
+    def test_invalid_line_bytes(self):
+        with pytest.raises(ValueError):
+            Directory(line_bytes=0)
+
+
+# -- property-based: invariants survive arbitrary access sequences ---------
+
+operations = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=7),       # line index
+        st.integers(min_value=1, max_value=4),       # host
+        st.booleans(),                                # is_write
+        st.booleans(),                                # evict instead
+    ),
+    max_size=200,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(operations)
+def test_directory_invariants_hold(ops):
+    d = Directory()
+    for line, host, is_write, is_evict in ops:
+        addr = line * 64
+        if is_evict:
+            d.evict(addr, host)
+        else:
+            do_access(d, addr, host, is_write)
+        d.check_invariants()
+
+
+@settings(max_examples=100, deadline=None)
+@given(operations)
+def test_writer_is_always_sole_holder(ops):
+    d = Directory()
+    for line, host, is_write, _ in ops:
+        addr = line * 64
+        do_access(d, addr, host, is_write)
+        if is_write:
+            assert d.sharers_of(addr) == {host}
+            assert d.entry(addr).owner == host

@@ -1,0 +1,186 @@
+"""Tests for the COMA attraction-memory cluster, incl. property tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mem import ComaCluster, ComaError
+from repro.sim import Environment
+
+
+def run(env, gen):
+    proc = env.process(gen)
+    env.run(until=100_000_000)
+    assert proc.triggered
+    if not proc.ok:
+        raise proc.value
+    return proc.value
+
+
+class TestBasicAttraction:
+    def test_cold_access_injects_locally(self):
+        env = Environment()
+        coma = ComaCluster(env, nodes=2, am_capacity_lines=8)
+
+        def go():
+            yield from coma.access(0, 0x100)
+
+        run(env, go())
+        assert coma.holders_of(0x100) == {0}
+        assert coma.master_of(0x100) == 0
+        assert coma.stats.cold_injections == 1
+
+    def test_second_access_hits_locally(self):
+        env = Environment()
+        coma = ComaCluster(env, nodes=2, am_capacity_lines=8)
+
+        def go():
+            first = yield from coma.access(0, 0x100)
+            second = yield from coma.access(0, 0x100)
+            return first, second
+
+        first, second = run(env, go())
+        assert second < first
+        assert coma.stats.hits == 1
+
+    def test_remote_read_replicates(self):
+        env = Environment()
+        coma = ComaCluster(env, nodes=2, am_capacity_lines=8)
+
+        def go():
+            yield from coma.access(0, 0x100)
+            yield from coma.access(1, 0x100)
+
+        run(env, go())
+        assert coma.holders_of(0x100) == {0, 1}
+        assert coma.stats.replications == 1
+        # Master stays at the original node after a read.
+        assert coma.master_of(0x100) == 0
+
+    def test_remote_write_migrates_and_invalidates(self):
+        env = Environment()
+        coma = ComaCluster(env, nodes=3, am_capacity_lines=8)
+
+        def go():
+            yield from coma.access(0, 0x100)
+            yield from coma.access(1, 0x100)           # replicate
+            yield from coma.access(2, 0x100, is_write=True)
+
+        run(env, go())
+        assert coma.holders_of(0x100) == {2}
+        assert coma.master_of(0x100) == 2
+        assert coma.stats.migrations == 1
+        assert coma.stats.invalidations >= 2
+
+    def test_write_hit_on_replica_takes_mastership(self):
+        env = Environment()
+        coma = ComaCluster(env, nodes=2, am_capacity_lines=8)
+
+        def go():
+            yield from coma.access(0, 0x100)
+            yield from coma.access(1, 0x100)            # node 1 replica
+            yield from coma.access(1, 0x100, is_write=True)
+
+        run(env, go())
+        assert coma.master_of(0x100) == 1
+        assert coma.holders_of(0x100) == {1}
+
+
+class TestLastCopyPreservation:
+    def test_eviction_relocates_last_copy(self):
+        env = Environment()
+        coma = ComaCluster(env, nodes=2, am_capacity_lines=2)
+
+        def go():
+            # Fill node 0 beyond capacity with unique lines.
+            for i in range(4):
+                yield from coma.access(0, i * 64)
+
+        run(env, go())
+        # Every line must still exist somewhere in the cluster.
+        for i in range(4):
+            assert coma.holders_of(i * 64), f"line {i} lost"
+        assert coma.stats.relocations >= 1
+        coma.check_invariants()
+
+    def test_cluster_full_raises(self):
+        env = Environment()
+        coma = ComaCluster(env, nodes=2, am_capacity_lines=2)
+
+        def go():
+            for i in range(5):  # 5 lines > 4 total slots
+                yield from coma.access(0, i * 64)
+
+        with pytest.raises(ComaError):
+            run(env, go())
+
+    def test_replica_eviction_promotes_master(self):
+        env = Environment()
+        coma = ComaCluster(env, nodes=2, am_capacity_lines=2)
+
+        def go():
+            yield from coma.access(0, 0x000)   # master at 0
+            yield from coma.access(1, 0x000)   # replica at 1
+            # Evict the master's copy by filling node 0.
+            yield from coma.access(0, 0x040)
+            yield from coma.access(0, 0x080)
+
+        run(env, go())
+        assert coma.holders_of(0x000) == {1}
+        assert coma.master_of(0x000) == 1
+        coma.check_invariants()
+
+
+class TestValidation:
+    def test_bad_node_count(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            ComaCluster(env, nodes=0, am_capacity_lines=8)
+
+    def test_bad_capacity(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            ComaCluster(env, nodes=2, am_capacity_lines=1)
+
+    def test_bad_node_index(self):
+        env = Environment()
+        coma = ComaCluster(env, nodes=2, am_capacity_lines=4)
+
+        def go():
+            yield from coma.access(5, 0)
+
+        with pytest.raises(ValueError):
+            run(env, go())
+
+
+# -- property-based: invariants + no line ever lost ----------------------
+
+coma_ops = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=2),   # node
+        st.integers(min_value=0, max_value=5),   # line index
+        st.booleans(),                            # is_write
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(coma_ops)
+def test_coma_invariants_and_no_loss(ops):
+    env = Environment()
+    # 3 nodes x 4 lines = 12 slots for <= 6 distinct lines: never full.
+    coma = ComaCluster(env, nodes=3, am_capacity_lines=4)
+    touched = set()
+
+    def go():
+        for node, line, is_write in ops:
+            yield from coma.access(node, line * 64, is_write)
+            touched.add(line * 64)
+
+    proc = env.process(go())
+    env.run(until=1_000_000_000)
+    assert proc.ok, proc.value
+    coma.check_invariants()
+    for addr in touched:
+        assert coma.holders_of(addr), f"line {addr:#x} lost"
+        assert coma.master_of(addr) is not None

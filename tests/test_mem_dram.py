@@ -1,0 +1,122 @@
+"""Tests for the DRAM bank/row timing model."""
+
+import pytest
+
+from repro import params
+from repro.mem import DramDevice
+from repro.sim import Environment
+
+
+def run_accesses(env, dram, addrs, nbytes=64, is_write=False):
+    latencies = []
+
+    def run():
+        for addr in addrs:
+            latency = yield from dram.access(addr, nbytes, is_write)
+            latencies.append(latency)
+
+    env.process(run())
+    env.run(until=env.now + 10_000_000)
+    return latencies
+
+
+class TestRowBuffer:
+    def test_first_access_is_row_miss(self):
+        env = Environment()
+        dram = DramDevice(env)
+        latencies = run_accesses(env, dram, [0])
+        assert dram.row_misses == 1
+        expected = params.DRAM_ROW_MISS_NS + params.DRAM_BUS_NS_PER_CACHELINE
+        assert latencies[0] == pytest.approx(expected)
+
+    def test_sequential_hits_open_row(self):
+        env = Environment()
+        dram = DramDevice(env)
+        addrs = [i * 64 for i in range(16)]  # all inside one 8KB row
+        latencies = run_accesses(env, dram, addrs)
+        assert dram.row_misses == 1
+        assert dram.row_hits == 15
+        assert latencies[1] < latencies[0]
+
+    def test_row_conflict_same_bank(self):
+        env = Environment()
+        dram = DramDevice(env, banks=2, row_bytes=4096)
+        # Same bank (stride = banks*row), different rows: all misses.
+        addrs = [0, 2 * 4096, 4 * 4096]
+        run_accesses(env, dram, addrs)
+        assert dram.row_misses == 3
+
+    def test_bank_interleaving(self):
+        env = Environment()
+        dram = DramDevice(env, banks=4, row_bytes=4096)
+        addrs = [0, 4096, 2 * 4096, 3 * 4096]  # four distinct banks
+        run_accesses(env, dram, addrs)
+        assert dram.row_misses == 4  # each bank's first access
+        # Revisit: all rows still open.
+        run_accesses(env, dram, addrs)
+        assert dram.row_hits == 4
+
+    def test_row_hit_rate(self):
+        env = Environment()
+        dram = DramDevice(env)
+        run_accesses(env, dram, [0, 64, 128])
+        assert dram.row_hit_rate == pytest.approx(2 / 3)
+
+
+class TestConcurrency:
+    def test_bank_parallelism_beats_single_bank(self):
+        def total_time(addrs):
+            env = Environment()
+            dram = DramDevice(env, banks=8, row_bytes=4096)
+            done = []
+
+            def one(addr):
+                yield from dram.access(addr)
+                done.append(env.now)
+
+            for addr in addrs:
+                env.process(one(addr))
+            env.run(until=1_000_000)
+            assert len(done) == len(addrs)
+            return max(done)
+
+        same_bank = [i * 8 * 4096 for i in range(8)]   # serialize on bank 0
+        spread = [i * 4096 for i in range(8)]           # one per bank
+        assert total_time(spread) < total_time(same_bank)
+
+    def test_large_transfer_charges_bus_per_line(self):
+        env = Environment()
+        dram = DramDevice(env)
+        latencies = run_accesses(env, dram, [0], nbytes=16 * 1024)
+        expected_bus = 256 * params.DRAM_BUS_NS_PER_CACHELINE
+        assert latencies[0] >= expected_bus
+
+
+class TestValidation:
+    def test_invalid_banks(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            DramDevice(env, banks=0)
+
+    def test_invalid_row(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            DramDevice(env, row_bytes=32)
+
+    def test_invalid_nbytes(self):
+        env = Environment()
+        dram = DramDevice(env)
+
+        def run():
+            yield from dram.access(0, nbytes=0)
+
+        proc = env.process(run())
+        env.run(until=100)
+        assert proc.triggered and not proc.ok
+        assert isinstance(proc.value, ValueError)
+
+    def test_extra_latency_applied(self):
+        env = Environment()
+        dram = DramDevice(env, extra_ns=500.0)
+        latencies = run_accesses(env, dram, [0])
+        assert latencies[0] > 500.0

@@ -1,0 +1,196 @@
+"""Tests for the host memory hierarchy and address map."""
+
+import pytest
+
+from repro import params
+from repro.mem import AddressMap, CacheConfig, HostMemorySystem, Region
+from repro.sim import Environment
+
+
+def flat_backend(env, latency, log=None, tag=""):
+    def backend(addr, nbytes, is_write):
+        if log is not None:
+            log.append((tag, addr, nbytes, is_write))
+        yield env.timeout(latency)
+
+    return backend
+
+
+def tiny_configs():
+    return (
+        CacheConfig(name="l1", size_bytes=4 * 64, assoc=2,
+                    read_ns=params.L1_READ_NS, write_ns=params.L1_WRITE_NS),
+        CacheConfig(name="l2", size_bytes=16 * 64, assoc=4,
+                    read_ns=params.L2_READ_NS, write_ns=params.L2_WRITE_NS),
+    )
+
+
+def make_system(env, log=None):
+    amap = AddressMap()
+    amap.add(Region(start=0, size=1 << 20, name="dram",
+                    backend=flat_backend(env, params.LOCAL_MEM_READ_NS,
+                                         log, "local")))
+    amap.add(Region(start=1 << 20, size=1 << 20, name="fam0",
+                    backend=flat_backend(env, params.REMOTE_MEM_READ_NS,
+                                         log, "remote"),
+                    is_remote=True))
+    return HostMemorySystem(env, amap, cache_configs=tiny_configs())
+
+
+def run_access(env, mem, addr, is_write=False):
+    result = {}
+
+    def go():
+        level = yield from mem.access(addr, is_write)
+        result["level"] = level
+        result["time"] = env.now
+
+    start = env.now
+    env.process(go())
+    env.run(until=env.now + 1_000_000)
+    result["latency"] = result["time"] - start
+    return result
+
+
+class TestAddressMap:
+    def test_resolve(self):
+        env = Environment()
+        amap = AddressMap()
+        amap.add(Region(0, 100, "a", flat_backend(env, 1)))
+        amap.add(Region(100, 100, "b", flat_backend(env, 1)))
+        assert amap.resolve(50).name == "a"
+        assert amap.resolve(100).name == "b"
+        with pytest.raises(KeyError):
+            amap.resolve(500)
+
+    def test_overlap_rejected(self):
+        env = Environment()
+        amap = AddressMap()
+        amap.add(Region(0, 100, "a", flat_backend(env, 1)))
+        with pytest.raises(ValueError):
+            amap.add(Region(50, 100, "b", flat_backend(env, 1)))
+
+    def test_span(self):
+        env = Environment()
+        amap = AddressMap()
+        assert amap.span == 0
+        amap.add(Region(0, 128, "a", flat_backend(env, 1)))
+        assert amap.span == 128
+
+
+class TestHierarchyLevels:
+    def test_first_access_goes_to_backend(self):
+        env = Environment()
+        mem = make_system(env)
+        result = run_access(env, mem, 0x100)
+        assert result["level"] == "local"
+        assert result["latency"] == pytest.approx(params.LOCAL_MEM_READ_NS)
+
+    def test_second_access_hits_l1(self):
+        env = Environment()
+        mem = make_system(env)
+        run_access(env, mem, 0x100)
+        result = run_access(env, mem, 0x100)
+        assert result["level"] == "l1"
+        assert result["latency"] == pytest.approx(params.L1_READ_NS)
+
+    def test_l1_capacity_spill_hits_l2(self):
+        env = Environment()
+        mem = make_system(env)
+        # L1 holds 4 lines (2 sets x 2 ways); stride to one set.
+        addrs = [i * (2 * 64) for i in range(4)]  # set 0, 4 tags, assoc 2
+        for addr in addrs:
+            run_access(env, mem, addr)
+        result = run_access(env, mem, addrs[0])
+        assert result["level"] == "l2"
+        assert result["latency"] == pytest.approx(params.L2_READ_NS)
+
+    def test_remote_region_latency(self):
+        env = Environment()
+        mem = make_system(env)
+        result = run_access(env, mem, 1 << 20)
+        assert result["level"] == "remote"
+        assert result["latency"] == pytest.approx(params.REMOTE_MEM_READ_NS)
+        assert mem.remote_accesses == 1
+
+    def test_remote_line_cached_after_first_touch(self):
+        """The paper: host caches transparently accelerate FAM access."""
+        env = Environment()
+        mem = make_system(env)
+        run_access(env, mem, 1 << 20)
+        result = run_access(env, mem, 1 << 20)
+        assert result["level"] == "l1"
+
+    def test_backend_receives_region_relative_address(self):
+        env = Environment()
+        log = []
+        mem = make_system(env, log)
+        run_access(env, mem, (1 << 20) + 0x40)
+        assert log[0] == ("remote", 0x40, 64, False)
+
+
+class TestWritebacks:
+    def test_dirty_eviction_writes_back_to_backend(self):
+        env = Environment()
+        log = []
+        mem = make_system(env, log)
+        # Dirty a line, then evict it from both levels via conflicting
+        # fills (same set in L1 and L2).
+        victim = 0x0
+        run_access(env, mem, victim, is_write=True)
+        stride = 16 * 64  # same set in both tiny caches
+        for i in range(1, 20):
+            run_access(env, mem, victim + i * stride)
+        env.run(until=env.now + 1_000_000)
+        writebacks = [entry for entry in log if entry[3] and entry[1] == victim]
+        assert writebacks, "dirty line was never written back"
+
+    def test_snoop_invalidate_reports_dirty(self):
+        env = Environment()
+        mem = make_system(env)
+        run_access(env, mem, 0x200, is_write=True)
+        assert mem.invalidate(0x200) is True
+        assert mem.invalidate(0x200) is False
+
+    def test_flush_returns_dirty_lines(self):
+        env = Environment()
+        mem = make_system(env)
+        run_access(env, mem, 0x200, is_write=True)
+        run_access(env, mem, 0x300, is_write=False)
+        dirty = mem.flush(); assert dirty == [0x200]
+
+
+class TestStats:
+    def test_hit_rate_accounting(self):
+        env = Environment()
+        mem = make_system(env)
+        run_access(env, mem, 0)
+        run_access(env, mem, 0)
+        run_access(env, mem, 0)
+        assert mem.accesses == 3
+        assert mem.hit_rate("l1") == pytest.approx(2 / 3)
+        assert mem.backend_hits["local"] == 1
+
+
+class TestRegionPartitioning:
+    def test_streaming_region_spares_the_working_set(self):
+        """DP#1: partition the cache so a bulk FAM scan cannot thrash."""
+        def run_scan(partitioned):
+            env = Environment()
+            mem = make_system(env)
+            if partitioned:
+                mem.partition_region("fam0", ways=1)
+            # Warm a local working set that fits L1 (4 lines).
+            working_set = [0x000, 0x040, 0x080]
+            for addr in working_set:
+                run_access(env, mem, addr)
+            # Stream 64 remote lines through the hierarchy.
+            for i in range(64):
+                run_access(env, mem, (1 << 20) + i * 64)
+            # Measure the working set again.
+            total = 0.0
+            for addr in working_set:
+                total += run_access(env, mem, addr)["latency"]
+            return total / len(working_set)
+
+        assert run_scan(partitioned=True) < run_scan(partitioned=False)

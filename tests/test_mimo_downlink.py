@@ -1,0 +1,80 @@
+"""Tests for the downlink MIMO pipeline (precoding direction)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    DOWNLINK_KERNEL_ORDER,
+    DownlinkPipeline,
+    MimoConfig,
+    downlink_received_bits,
+    repetition_decode,
+)
+
+
+def payload(config, seed=3):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 2,
+                        size=config.bits_per_frame // 3).astype(np.int8)
+
+
+class TestDownlink:
+    def test_roundtrip_bit_exact_at_high_snr(self):
+        config = MimoConfig(snr_db=25.0)
+        pipeline = DownlinkPipeline(config)
+        bits = payload(config)
+        samples, flops = pipeline.process(bits)
+        received = downlink_received_bits(config, samples, snr_db=30.0)
+        decoded = repetition_decode(received[:bits.size * 3])
+        assert np.array_equal(decoded, bits)
+        assert set(flops) == set(DOWNLINK_KERNEL_ORDER)
+        assert all(value > 0 for value in flops.values())
+
+    def test_noiseless_roundtrip_exact(self):
+        config = MimoConfig()
+        pipeline = DownlinkPipeline(config)
+        bits = payload(config, seed=9)
+        samples, _ = pipeline.process(bits)
+        received = downlink_received_bits(config, samples, snr_db=None)
+        decoded = repetition_decode(received[:bits.size * 3])
+        assert np.array_equal(decoded, bits)
+
+    def test_low_snr_introduces_errors(self):
+        config = MimoConfig(seed=5)
+        pipeline = DownlinkPipeline(config)
+        bits = payload(config)
+        samples, _ = pipeline.process(bits)
+        received = downlink_received_bits(config, samples, snr_db=-5.0)
+        decoded = repetition_decode(received[:bits.size * 3])
+        ber = np.mean(decoded != bits)
+        assert 0.0 < ber < 0.5
+
+    def test_precoding_pre_cancels_channel(self):
+        """After ZF precoding, user u's stream carries only its symbols."""
+        config = MimoConfig(users=2, antennas=8, subcarriers=16,
+                            data_symbols=1)
+        pipeline = DownlinkPipeline(config)
+        from repro.workloads.mimo import MimoChannel, qpsk_modulate
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, size=2 * config.users
+                            * config.subcarriers).astype(np.int8)
+        symbols = qpsk_modulate(bits).reshape(
+            config.users, 1, config.subcarriers).transpose(2, 0, 1)
+        precoded, _ = pipeline.precode(symbols, MimoChannel(config).h)
+        channel = MimoChannel(config)
+        received = np.einsum("sau,sat->sut", channel.h, precoded)
+        assert np.allclose(received, symbols, atol=1e-8)
+
+    def test_oversized_payload_rejected(self):
+        config = MimoConfig()
+        pipeline = DownlinkPipeline(config)
+        with pytest.raises(ValueError):
+            pipeline.modulate(np.zeros(10 * config.bits_per_frame,
+                                       dtype=np.int8))
+
+    def test_antenna_sample_shape(self):
+        config = MimoConfig()
+        pipeline = DownlinkPipeline(config)
+        samples, _ = pipeline.process(payload(config))
+        assert samples.shape == (config.subcarriers, config.antennas,
+                                 config.data_symbols)

@@ -1,0 +1,77 @@
+"""Tests for PBR/HBR addressing and routing tables."""
+
+import pytest
+
+from repro.pcie import MAX_PBR_IDS, PbrId, RoutingTable
+
+
+class TestPbrId:
+    def test_global_id_roundtrip(self):
+        pbr = PbrId(domain=3, local=77)
+        assert PbrId.from_global(pbr.global_id) == pbr
+
+    def test_twelve_bit_range_enforced(self):
+        PbrId(domain=0, local=MAX_PBR_IDS - 1)
+        with pytest.raises(ValueError):
+            PbrId(domain=0, local=MAX_PBR_IDS)
+        with pytest.raises(ValueError):
+            PbrId(domain=0, local=-1)
+
+    def test_negative_domain_rejected(self):
+        with pytest.raises(ValueError):
+            PbrId(domain=-1, local=0)
+
+    def test_global_id_packs_domain_above_12_bits(self):
+        pbr = PbrId(domain=2, local=5)
+        assert pbr.global_id == (2 << 12) | 5
+
+    def test_ordering_and_hash(self):
+        a, b = PbrId(0, 1), PbrId(0, 2)
+        assert a < b
+        assert len({a, b, PbrId(0, 1)}) == 2
+
+
+class TestRoutingTable:
+    def test_exact_match_preferred(self):
+        table = RoutingTable(switch_domain=0)
+        dst = PbrId(0, 9)
+        table.add_endpoint(dst, egress_port=4)
+        table.set_default(0)
+        assert table.lookup(dst) == 4
+
+    def test_domain_route_for_foreign_destination(self):
+        table = RoutingTable(switch_domain=0)
+        table.add_domain(1, egress_port=2)
+        assert table.lookup(PbrId(1, 123)) == 2
+
+    def test_exact_overrides_domain_route(self):
+        table = RoutingTable(switch_domain=0)
+        table.add_domain(1, egress_port=2)
+        table.add_endpoint(PbrId(1, 5), egress_port=7)
+        assert table.lookup(PbrId(1, 5)) == 7
+        assert table.lookup(PbrId(1, 6)) == 2
+
+    def test_domain_route_to_own_domain_rejected(self):
+        table = RoutingTable(switch_domain=0)
+        with pytest.raises(ValueError):
+            table.add_domain(0, egress_port=1)
+
+    def test_no_route_raises(self):
+        table = RoutingTable(switch_domain=0)
+        with pytest.raises(KeyError):
+            table.lookup(PbrId(0, 1))
+        assert PbrId(0, 1) not in table
+
+    def test_default_route_as_last_resort(self):
+        table = RoutingTable(switch_domain=0)
+        table.set_default(9)
+        assert table.lookup(PbrId(5, 5)) == 9
+
+    def test_entries_enumeration(self):
+        table = RoutingTable(switch_domain=0)
+        table.add_endpoint(PbrId(0, 1), 1)
+        table.add_domain(2, 3)
+        table.set_default(0)
+        kinds = [kind for kind, _, _ in table.entries()]
+        assert kinds == ["pbr", "hbr", "default"]
+        assert len(table) == 2

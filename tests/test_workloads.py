@@ -1,0 +1,264 @@
+"""Tests for trace generators, KV store, graph, and MIMO workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core import MovementOrchestrator, UnifiedHeap
+from repro.infra import ClusterSpec, build_cluster
+from repro.sim import Environment, SimRng
+from repro.workloads import (
+    CsrGraph,
+    KvStore,
+    MimoChannel,
+    MimoConfig,
+    UplinkPipeline,
+    qpsk_demodulate,
+    qpsk_modulate,
+    random_graph,
+    repetition_decode,
+    repetition_encode,
+    traces,
+)
+from repro.workloads.mimo import make_frame, flops_to_ns
+
+
+def make_heap(env):
+    cluster = build_cluster(env, ClusterSpec(hosts=1))
+    host = cluster.host(0)
+    engine = MovementOrchestrator(env).attach_host(host)
+    heap = UnifiedHeap(env, host, engine)
+    heap.add_bin("local", start=1 << 20, size=4 << 20, tier="local",
+                 is_remote=False)
+    heap.add_bin("fam0", start=host.remote_base("fam0"), size=16 << 20,
+                 tier="cpuless-numa", is_remote=True)
+    return cluster, host, heap
+
+
+def run(env, gen, horizon=2_000_000_000):
+    proc = env.process(gen)
+    env.run(until=env.now + horizon)
+    assert proc.triggered
+    if not proc.ok:
+        raise proc.value
+    return proc.value
+
+
+class TestTraces:
+    def test_sequential_stride(self):
+        out = list(traces.sequential(0, 4, stride=128))
+        assert out == [(0, False), (128, False), (256, False), (384, False)]
+
+    def test_sequential_zero_stride_rejected(self):
+        with pytest.raises(ValueError):
+            list(traces.sequential(0, 4, stride=0))
+
+    def test_uniform_within_span_and_aligned(self):
+        rng = SimRng(1)
+        out = list(traces.uniform(0x1000, 64 * 128, 200, rng,
+                                  write_fraction=0.3))
+        assert len(out) == 200
+        for addr, _ in out:
+            assert 0x1000 <= addr < 0x1000 + 64 * 128
+            assert addr % 64 == 0
+        writes = sum(1 for _, w in out if w)
+        assert 20 < writes < 100
+
+    def test_zipfian_skews_to_few_lines(self):
+        rng = SimRng(2)
+        out = list(traces.zipfian(0, 64 * 1024, 2000, rng, alpha=0.9))
+        from collections import Counter
+        counts = Counter(addr for addr, _ in out)
+        top = counts.most_common(10)
+        assert sum(c for _, c in top) > 0.5 * len(out)
+
+    def test_pointer_chase_covers_lines(self):
+        rng = SimRng(3)
+        out = list(traces.pointer_chase(0, 64 * 8, 8, rng))
+        assert sorted(addr for addr, _ in out) == [i * 64 for i in range(8)]
+
+    def test_phased_working_sets_moves_between_phases(self):
+        rng = SimRng(4)
+        out = list(traces.phased_working_sets(0, 64 * 16, 3, 50, rng))
+        assert len(out) == 150
+        first = {addr for addr, _ in out[:50]}
+        last = {addr for addr, _ in out[100:]}
+        assert not (first & last)  # disjoint phase ranges
+
+
+class TestKvStore:
+    def test_put_get_roundtrip(self):
+        env = Environment()
+        _, _, heap = make_heap(env)
+        store = KvStore(env, heap, value_bytes=1024)
+
+        def go():
+            yield from store.put("alpha")
+            found = yield from store.get("alpha")
+            missing = yield from store.get("beta")
+            return found, missing
+
+        found, missing = run(env, go())
+        assert found is True and missing is False
+        assert store.stats.hit_rate == 0.5
+        assert len(store) == 1
+
+    def test_overwrite_reuses_object(self):
+        env = Environment()
+        _, _, heap = make_heap(env)
+        store = KvStore(env, heap)
+
+        def go():
+            first = yield from store.put("k")
+            second = yield from store.put("k")
+            return first.oid, second.oid
+
+        oid1, oid2 = run(env, go())
+        assert oid1 == oid2
+        assert heap.allocations == 1
+
+    def test_delete_frees_object(self):
+        env = Environment()
+        _, _, heap = make_heap(env)
+        store = KvStore(env, heap)
+
+        def go():
+            yield from store.put("k")
+
+        run(env, go())
+        pointer = store.pointer_of("k")
+        assert store.delete("k") is True
+        assert not pointer.valid
+        assert store.delete("k") is False
+
+
+class TestGraph:
+    def test_random_graph_shape(self):
+        adjacency = random_graph(50, 4.0, SimRng(5))
+        assert len(adjacency) == 50
+        for vertex, neighbors in enumerate(adjacency):
+            assert all(0 <= n < 50 and n != vertex for n in neighbors)
+
+    def test_bfs_depths_match_networkx_free_reference(self):
+        env = Environment()
+        _, _, heap = make_heap(env)
+        adjacency = [[1, 2], [3], [3], [], [0]]  # vertex 4 unreachable
+        graph = CsrGraph(env, heap, adjacency)
+
+        def go():
+            return (yield from graph.bfs(0))
+
+        depth = run(env, go())
+        assert depth == {0: 0, 1: 1, 2: 1, 3: 2}
+
+    def test_bfs_charges_time(self):
+        env = Environment()
+        _, _, heap = make_heap(env)
+        adjacency = random_graph(64, 3.0, SimRng(6))
+        graph = CsrGraph(env, heap, adjacency,
+                         prefer_tier="cpuless-numa")
+
+        def go():
+            start = env.now
+            yield from graph.bfs(0)
+            return env.now - start
+
+        elapsed = run(env, go())
+        assert elapsed > 1000  # plenty of remote traffic
+
+    def test_degree_sum(self):
+        env = Environment()
+        _, _, heap = make_heap(env)
+        adjacency = [[1], [0, 2], [1]]
+        graph = CsrGraph(env, heap, adjacency)
+
+        def go():
+            return (yield from graph.degree_sum())
+
+        assert run(env, go()) == 4
+
+    def test_free_releases_objects(self):
+        env = Environment()
+        _, _, heap = make_heap(env)
+        graph = CsrGraph(env, heap, [[1], [0]])
+        live_before = len(heap.live_objects())
+        graph.free()
+        assert len(heap.live_objects()) == live_before - 3
+
+
+class TestQpsk:
+    def test_modulate_demodulate_roundtrip(self):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, size=256).astype(np.int8)
+        assert np.array_equal(qpsk_demodulate(qpsk_modulate(bits)), bits)
+
+    def test_unit_power(self):
+        bits = np.array([0, 0, 0, 1, 1, 0, 1, 1], dtype=np.int8)
+        symbols = qpsk_modulate(bits)
+        assert np.allclose(np.abs(symbols), 1.0)
+
+    def test_odd_bits_rejected(self):
+        with pytest.raises(ValueError):
+            qpsk_modulate(np.array([1], dtype=np.int8))
+
+
+class TestRepetitionCode:
+    def test_roundtrip(self):
+        bits = np.array([1, 0, 1, 1, 0], dtype=np.int8)
+        assert np.array_equal(
+            repetition_decode(repetition_encode(bits)), bits)
+
+    def test_corrects_single_flip_per_codeword(self):
+        bits = np.array([1, 0], dtype=np.int8)
+        coded = repetition_encode(bits)
+        coded[0] ^= 1   # flip one vote of the first bit
+        assert np.array_equal(repetition_decode(coded), bits)
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            repetition_decode(np.array([1, 0], dtype=np.int8), rate=3)
+
+
+class TestMimoPipeline:
+    def test_uplink_recovers_bits_at_high_snr(self):
+        config = MimoConfig(snr_db=30.0)
+        channel = MimoChannel(config)
+        pipeline = UplinkPipeline(config)
+        rng = np.random.default_rng(0)
+        payload = rng.integers(
+            0, 2, size=config.bits_per_frame // 3).astype(np.int8)
+        frame = make_frame(config, channel, payload, pipeline.pilot)
+        decoded, flops = pipeline.process(frame)
+        assert np.array_equal(decoded[:payload.size], payload)
+        assert set(flops) == {"fft", "channel_estimate", "equalize",
+                              "demodulate", "decode"}
+        assert all(f > 0 for f in flops.values())
+
+    def test_low_snr_has_errors_but_code_helps(self):
+        config = MimoConfig(snr_db=-3.0, seed=3)
+        channel = MimoChannel(config)
+        pipeline = UplinkPipeline(config)
+        rng = np.random.default_rng(0)
+        payload = rng.integers(
+            0, 2, size=config.bits_per_frame // 3).astype(np.int8)
+        frame = make_frame(config, channel, payload, pipeline.pilot)
+        decoded, _ = pipeline.process(frame)
+        ber = np.mean(decoded[:payload.size] != payload)
+        assert 0.0 < ber < 0.5
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MimoConfig(antennas=2, users=4)
+        with pytest.raises(ValueError):
+            MimoConfig(subcarriers=60)
+
+    def test_flops_to_ns(self):
+        assert flops_to_ns(8.0) == pytest.approx(1.0)
+        assert flops_to_ns(8.0, speedup=2.0) == pytest.approx(0.5)
+
+    def test_oversized_payload_rejected(self):
+        config = MimoConfig()
+        channel = MimoChannel(config)
+        pipeline = UplinkPipeline(config)
+        too_big = np.zeros(config.bits_per_frame, dtype=np.int8)
+        with pytest.raises(ValueError):
+            make_frame(config, channel, too_big, pipeline.pilot)
