@@ -12,28 +12,11 @@ Every benchmark file reproduces one table/figure/claim from the paper
 
 from __future__ import annotations
 
-from typing import Any, Generator, List, Optional
+from typing import Any, List, Optional
 
-from repro.sim import Environment
+from repro.sim import run_proc  # noqa: F401  (canonical home: repro.sim)
 
 __all__ = ["run_proc", "fmt_row", "print_table"]
-
-
-def run_proc(env: Environment, gen: Generator,
-             horizon: float = 5_000_000_000.0) -> Any:
-    """Run one process to completion and return its value.
-
-    Stops as soon as the process finishes (important when background
-    traffic generators would otherwise run to the horizon), and raises
-    if the horizon passes first.
-    """
-    proc = env.process(gen)
-    env.run(until=env.now + horizon, until_event=proc)
-    if not proc.triggered:
-        raise RuntimeError("benchmark process did not finish in horizon")
-    if not proc.ok:
-        raise proc.value
-    return proc.value
 
 
 def fmt_row(columns: List[Any], widths: List[int]) -> str:

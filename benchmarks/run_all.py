@@ -1,0 +1,183 @@
+#!/usr/bin/env python
+"""Perf-regression harness: run the experiment suite and record it.
+
+Runs the kernel microbenchmark plus the headline experiments (Table 2
+hierarchy, C2 PCIe interference, A1 movement ablation), checks that the
+paper-shape invariants still hold (remote/local latency ~10x, PCIe
+contention grows with hosts, managed movement beats naive sync), and
+writes ``BENCH_<n>.json`` in the repository root with wall-clock,
+events and events/sec per experiment — the perf trajectory later PRs
+append to.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py           # full + BENCH_<n>.json
+    PYTHONPATH=src python benchmarks/run_all.py --smoke   # quick CI pass, no file
+
+The harness intentionally asserts only *shape* invariants (ordering and
+coarse magnitude), not exact latencies: exact bit-identity for fixed
+seeds is covered by ``tests/test_determinism.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+from time import perf_counter
+from typing import Callable, List, Optional, Tuple
+
+_HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(_HERE))
+sys.path.insert(0, str(_HERE.parent / "src"))
+
+from repro.sim import Environment, total_events_processed  # noqa: E402
+
+#: Seed-engine events/sec on this microbenchmark (200 procs x 2000
+#: steps), recorded when the fast path landed.  Machine-dependent, so
+#: the speedup is reported for trend-keeping, not asserted.
+SEED_KERNEL_EVENTS_PER_SEC = 490_000.0
+
+
+def _timed(fn: Callable) -> Tuple[object, float, int]:
+    """Run ``fn`` and return (result, wall seconds, kernel events)."""
+    events0 = total_events_processed()
+    t0 = perf_counter()
+    result = fn()
+    wall = perf_counter() - t0
+    return result, wall, total_events_processed() - events0
+
+
+def kernel_microbench(procs: int, steps: int) -> dict:
+    """The canonical hot-path shape: N processes ticking in lockstep."""
+    env = Environment()
+
+    def looper():
+        timeout = env.timeout
+        for _ in range(steps):
+            yield timeout(1.0)
+
+    for _ in range(procs):
+        env.process(looper())
+    env.run()
+    return env.stats
+
+
+def next_bench_path(root: Path) -> Path:
+    taken = []
+    for existing in root.glob("BENCH_*.json"):
+        suffix = existing.stem.split("_", 1)[1]
+        if suffix.isdigit():
+            taken.append(int(suffix))
+    return root / f"BENCH_{max(taken) + 1 if taken else 1}.json"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced sizes, no BENCH file (CI gate)")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="output path (default: next BENCH_<n>.json)")
+    args = parser.parse_args(argv)
+
+    experiments = []
+    failures: List[str] = []
+
+    def check(name: str, ok: bool) -> None:
+        print(f"  [{'ok' if ok else 'FAIL'}] {name}")
+        if not ok:
+            failures.append(name)
+
+    def record(name: str, wall: float, events: int, detail) -> None:
+        rate = events / wall if wall > 0 else 0.0
+        experiments.append({
+            "name": name,
+            "wall_s": round(wall, 4),
+            "events": events,
+            "events_per_sec": round(rate, 1),
+            "detail": detail,
+        })
+        print(f"{name}: {wall:.3f}s wall, {events:,} events, "
+              f"{rate:,.0f} events/sec")
+
+    # -- kernel microbenchmark -------------------------------------------
+    procs, steps = (50, 200) if args.smoke else (200, 2000)
+    rounds = 1 if args.smoke else 3
+    best = None
+    for _ in range(rounds):
+        stats, wall, events = _timed(lambda: kernel_microbench(procs, steps))
+        rate = events / wall
+        if best is None or rate > best[0]:
+            best = (rate, wall, events, stats)
+    rate, wall, events, stats = best
+    speedup = rate / SEED_KERNEL_EVENTS_PER_SEC
+    record("kernel_microbench", wall, events, {
+        "procs": procs,
+        "steps": steps,
+        "best_of": rounds,
+        "peak_queue_depth": stats["peak_queue_depth"],
+        "pooled_timeouts": stats["pooled_timeouts"],
+        "seed_events_per_sec_recorded": SEED_KERNEL_EVENTS_PER_SEC,
+        "speedup_vs_seed": round(speedup, 2),
+    })
+    check("kernel_pool_filled", stats["pooled_timeouts"] > 0)
+
+    # -- T2: memory-hierarchy latency matrix -----------------------------
+    import bench_table2_hierarchy as t2
+    rows, wall, events = _timed(t2.collect)
+    by_key = {(r["level"], r["op"]): r["latency_ns"] for r in rows}
+    ratio = by_key[("remote", "read")] / by_key[("local", "read")]
+    record("t2_hierarchy", wall, events, {
+        "remote_read_ns": by_key[("remote", "read")],
+        "local_read_ns": by_key[("local", "read")],
+        "remote_local_ratio": round(ratio, 2),
+    })
+    check("t2_remote_local_ratio_about_10x", 5.0 <= ratio <= 30.0)
+    check("t2_l1_fastest", by_key[("l1", "read")] < by_key[("local", "read")])
+
+    # -- C2: PCIe interference sweep -------------------------------------
+    import bench_pcie_interference as c2
+    rows, wall, events = _timed(c2.sweep)
+    added = {hosts: add for hosts, _lat, add in rows}
+    record("c2_pcie_interference", wall, events,
+           {"added_ns_by_hosts": {str(k): v for k, v in added.items()}})
+    check("c2_no_interference_alone", added[1] == 0.0)
+    check("c2_contention_monotonic",
+          all(added[a] <= added[b]
+              for a, b in zip(sorted(added), sorted(added)[1:])))
+    check("c2_added_at_16_hosts_in_range", 300.0 <= added[16] <= 3000.0)
+
+    # -- A1: data-movement ablation --------------------------------------
+    import bench_dp1_movement as a1
+    results, wall, events = _timed(a1.collect)
+    record("a1_movement_ablation", wall, events, results)
+    check("a1_managed_beats_naive", results["managed"] < results["naive-sync"])
+    check("a1_prefetch_beats_naive",
+          results["prefetch"] < results["naive-sync"])
+
+    # -- report ----------------------------------------------------------
+    payload = {
+        "schema": 1,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "smoke": args.smoke,
+        "experiments": experiments,
+        "invariant_failures": failures,
+    }
+    if args.smoke:
+        print("smoke run: BENCH file not written")
+    else:
+        out = args.out or next_bench_path(_HERE.parent)
+        out.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {out}")
+    if failures:
+        print(f"FAILED invariants: {', '.join(failures)}")
+        return 1
+    print("all invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

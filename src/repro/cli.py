@@ -5,7 +5,9 @@ Commands:
 * ``info``    — print the Table 1 fabric catalog and a default rack;
 * ``table2``  — quick calibration check against the paper's Table 2;
 * ``demo``    — a one-minute tour: build a rack, run a workload, print
-  the latency contrast and the heap/migration stats.
+  the latency contrast and the heap/migration stats;
+* ``perf``    — kernel microbenchmark + ``Environment.stats`` counters
+  (events processed, events/sec, peak queue depth, pool sizes).
 """
 
 from __future__ import annotations
@@ -115,6 +117,28 @@ def cmd_demo(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_perf(args: argparse.Namespace) -> int:
+    """Time the kernel's steady-state stepping and print its counters."""
+    env = Environment()
+
+    def looper(steps: int):
+        timeout = env.timeout
+        for _ in range(steps):
+            yield timeout(1.0)
+
+    for _ in range(args.procs):
+        env.process(looper(args.steps))
+    env.run()
+    stats = env.stats
+    print(f"{'counter':<20} {'value':>16}")
+    for key, value in stats.items():
+        if isinstance(value, float):
+            print(f"{key:<20} {value:>16,.1f}")
+        else:
+            print(f"{key:<20} {value:>16,}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -123,9 +147,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     sub.add_parser("info", help="fabric catalog + a default rack")
     sub.add_parser("table2", help="quick Table 2 calibration check")
     sub.add_parser("demo", help="one-minute heap/migration tour")
+    perf = sub.add_parser(
+        "perf", help="kernel microbenchmark + Environment.stats counters")
+    perf.add_argument("--procs", type=int, default=200,
+                      help="concurrent ticking processes (default 200)")
+    perf.add_argument("--steps", type=int, default=1000,
+                      help="timeout steps per process (default 1000)")
     args = parser.parse_args(argv)
     handler = {"info": cmd_info, "table2": cmd_table2,
-               "demo": cmd_demo}[args.command]
+               "demo": cmd_demo, "perf": cmd_perf}[args.command]
     return handler(args)
 
 

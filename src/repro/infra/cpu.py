@@ -54,17 +54,28 @@ class CpuCore:
         """
         stats = latencies if latencies is not None \
             else StatSeries(f"{self.name}.lat")
-        slots = Resource(self.env, capacity=window or self.window)
+        env = self.env
+        slots = Resource(env, capacity=window or self.window)
         inflight = []
+        # Hoisted per-trace: one issue tick per op makes this loop the
+        # per-op overhead of every benchmark.  The issue timeouts come
+        # from (and return to) the environment's free list, so the
+        # steady state reuses one pooled Timeout per issue slot.
+        timeout = env.timeout
+        process = env.process
+        request_slot = slots.request
+        one_op = self._one_op
+        append = inflight.append
+        issue_ns = self.issue_ns
+        op_name = f"{self.name}.op"
         for addr, is_write in trace:
-            yield self.env.timeout(self.issue_ns)
-            request = slots.request()
+            yield timeout(issue_ns)
+            request = request_slot()
             yield request
-            inflight.append(self.env.process(
-                self._one_op(addr, is_write, slots, request, stats),
-                name=f"{self.name}.op"))
+            append(process(one_op(addr, is_write, slots, request, stats),
+                           name=op_name))
         if inflight:
-            yield self.env.all_of(inflight)
+            yield env.all_of(inflight)
         return stats
 
     def _one_op(self, addr: int, is_write: bool, slots: Resource,

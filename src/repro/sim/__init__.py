@@ -15,6 +15,8 @@ from .engine import (
     Process,
     SimulationError,
     Timeout,
+    run_proc,
+    total_events_processed,
 )
 from .resources import Container, PriorityResource, PriorityStore, Resource, Store
 from .rng import SimRng
@@ -38,4 +40,6 @@ __all__ = [
     "StatSeries",
     "Tracer",
     "TraceRecord",
+    "run_proc",
+    "total_events_processed",
 ]

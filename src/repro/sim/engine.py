@@ -10,12 +10,48 @@ by priority and then by a monotonically increasing sequence number.
 
 Time is a float in nanoseconds by convention (see ``repro.params``),
 although the kernel itself is unit-agnostic.
+
+Fast path
+---------
+
+Every experiment in the repository funnels through this module, so the
+steady-state step — pop an event, run its single ``Process._resume``
+callback, let the process yield the next ``Timeout`` — is aggressively
+optimised:
+
+* ``Timeout`` objects (and the internal ``_Hook`` events used to start
+  processes, deliver interrupts and re-fire already-processed events)
+  are recycled through per-environment free lists, together with their
+  callback lists, so steady-state stepping allocates near-zero objects.
+  Recycling is guarded by ``sys.getrefcount``: an event is only pooled
+  when the kernel holds the last reference, so model code that keeps a
+  processed event around (e.g. to re-yield it later) is always safe.
+* Detaching a resume callback from an abandoned wait target is O(1):
+  the process remembers the index of its callback and tombstones it
+  (sets the slot to ``None``) instead of an O(n) ``list.remove``.
+  Callback lists are never compacted before they fire, so indexes stay
+  valid and callback order — and therefore scheduling order — is
+  exactly what it would have been without the tombstone.
+* ``Process._resume`` takes a monomorphic shortcut when the yielded
+  event is a pending ``Timeout`` (the overwhelmingly common case),
+  skipping the ``isinstance``/cross-environment checks of the general
+  path.
+* ``Environment.run`` inlines the dispatch loop with bound locals.
+
+None of this changes observable scheduling: pooled events consume the
+same sequence numbers as freshly allocated ones, so the
+``(time, priority, seq)`` order of a run is bit-identical to the
+pre-fast-path kernel.  ``Environment.stats`` exposes kernel counters
+(events processed, events/sec of wall-clock, peak queue depth) for the
+perf-regression harness in ``benchmarks/run_all.py``.
 """
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional
+from heapq import heappop, heappush
+from sys import getrefcount
+from time import perf_counter
+from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
 
 __all__ = [
     "Environment",
@@ -26,11 +62,28 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "SimulationError",
+    "run_proc",
+    "total_events_processed",
 ]
 
 # Scheduling priorities: URGENT fires before NORMAL at the same time.
 URGENT = 0
 NORMAL = 1
+
+_INF = float("inf")
+
+#: Upper bound on each free list; beyond this, events are left to the GC.
+_POOL_LIMIT = 512
+
+#: Process-wide count of events dispatched by every Environment, used by
+#: the perf harness to attribute events/sec to experiments that build
+#: several environments internally.
+_total_events = 0
+
+
+def total_events_processed() -> int:
+    """Events dispatched by all environments since interpreter start."""
+    return _total_events
 
 
 class SimulationError(Exception):
@@ -55,16 +108,25 @@ class Event:
 
     An event starts *pending*, becomes *triggered* when given a value
     (or an exception) and scheduled, and *processed* once its callbacks
-    have run.  Callbacks receive the event itself.
+    have run.  Callbacks receive the event itself.  A ``None`` entry in
+    ``callbacks`` is a tombstone left by an O(1) detach and is skipped
+    when the event fires.
+
+    The first waiter to attach while ``callbacks`` is still empty is
+    held in the ``_waiter`` slot instead of the list (saving a
+    ``list.append`` on the hot path); it fires before the list, which
+    is exactly attach order.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_processed")
+    __slots__ = ("env", "callbacks", "_waiter", "_value", "_ok",
+                 "_scheduled", "_processed")
 
     _PENDING = object()
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self.callbacks: Optional[List[Optional[Callable[["Event"], None]]]] = []
+        self._waiter: Optional[Callable[["Event"], None]] = None
         self._value: Any = Event._PENDING
         self._ok = True
         self._scheduled = False
@@ -119,8 +181,18 @@ class Event:
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
 
+#: Module-level alias of the pending sentinel for fast access in hot code.
+_PENDING = Event._PENDING
+
+
 class Timeout(Event):
-    """An event that fires after a fixed delay."""
+    """An event that fires after a fixed delay.
+
+    Instances created through :meth:`Environment.timeout` come from a
+    free list and return to it once processed (refcount-guarded, see the
+    module docstring); direct construction also works and is what the
+    pool falls back to.
+    """
 
     __slots__ = ("delay",)
 
@@ -134,17 +206,16 @@ class Timeout(Event):
         env._schedule(self, NORMAL, delay)
 
 
-class Initialize(Event):
-    """Internal event that starts a freshly created process."""
+class _Hook(Event):
+    """Internal pooled event carrying a single pre-armed callback.
+
+    Used for the three kernel-internal wakeups that the seed engine
+    allocated a fresh ``Event`` (or ``Initialize``) for: starting a new
+    process, re-firing an already-processed event for a late yielder,
+    and delivering an interrupt.  Never exposed to model code.
+    """
 
     __slots__ = ()
-
-    def __init__(self, env: "Environment", process: "Process") -> None:
-        super().__init__(env)
-        self.callbacks.append(process._resume)
-        self._ok = True
-        self._value = None
-        env._schedule(self, URGENT)
 
 
 class Process(Event):
@@ -155,7 +226,7 @@ class Process(Event):
     with the event's value (or the event's exception is thrown in).
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "_resume_cb", "_cb_index")
 
     def __init__(self, env: "Environment",
                  generator: Generator[Event, Any, Any],
@@ -165,8 +236,12 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         self._target: Optional[Event] = None
+        # Bound once: every attach/detach reuses the same bound method
+        # instead of allocating a fresh one per wait.
+        self._resume_cb = self._resume
+        self._cb_index = -1
         self.name = name or getattr(generator, "__name__", "process")
-        Initialize(env, self)
+        env._schedule_hook(self._resume_cb, URGENT, True, None)
 
     @property
     def is_alive(self) -> bool:
@@ -185,48 +260,84 @@ class Process(Event):
         """
         if not self.is_alive:
             raise SimulationError(f"cannot interrupt dead process {self.name}")
-        if self._target is not None and self._target.callbacks is not None:
-            try:
-                self._target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
-        interrupt_event = Event(self.env)
-        interrupt_event._ok = False
-        interrupt_event._value = Interrupt(cause)
-        interrupt_event.callbacks.append(self._resume)
-        self.env._schedule(interrupt_event, URGENT)
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            self._detach(target)
+        self.env._schedule_hook(self._resume_cb, URGENT, False, Interrupt(cause))
+
+    def _detach(self, target: Event) -> None:
+        """Detach our resume callback from ``target`` in O(1).
+
+        Clears the waiter slot if we hold it, else tombstones our
+        remembered index in the callback list; falls back to a scan if
+        the index no longer points at us (e.g. already tombstoned).
+        """
+        cb = self._resume_cb
+        if target._waiter is cb:
+            target._waiter = None
+            return
+        cbs = target.callbacks
+        i = self._cb_index
+        if 0 <= i < len(cbs) and cbs[i] is cb:
+            cbs[i] = None
+            return
+        try:
+            cbs[cbs.index(cb)] = None
+        except ValueError:
+            pass
 
     def _resume(self, event: Event) -> None:
-        self.env._active_process = self
-        # Detach from the old target: we are being resumed by `event`.
-        if self._target is not None and self._target is not event:
-            if self._target.callbacks is not None:
-                try:
-                    self._target.callbacks.remove(self._resume)
-                except ValueError:
-                    pass
+        if self._value is not _PENDING:
+            # The process died between this wakeup being scheduled and
+            # firing (e.g. a stale interrupt): drop it instead of
+            # throwing into an exhausted generator.
+            return
+        env = self.env
+        target = self._target
+        if target is not None and target is not event:
+            # We are being resumed by `event`; detach from the old target.
+            if target.callbacks is not None:
+                self._detach(target)
         self._target = None
+        env._active_process = self
         try:
             if event._ok:
                 next_event = self._generator.send(event._value)
             else:
                 next_event = self._generator.throw(event._value)
         except StopIteration as stop:
-            self.env._active_process = None
-            if not self.triggered:
+            env._active_process = None
+            if self._value is _PENDING:
                 self._ok = True
                 self._value = stop.value
-                self.env._schedule(self, NORMAL)
+                env._schedule(self, NORMAL)
             return
         except BaseException as exc:
-            self.env._active_process = None
-            if not self.triggered:
+            env._active_process = None
+            if self._value is _PENDING:
                 self._ok = False
                 self._value = exc
-                self.env._schedule(self, NORMAL)
+                env._schedule(self, NORMAL)
             return
-        self.env._active_process = None
+        env._active_process = None
 
+        if next_event.__class__ is Timeout:
+            # Fast path: a pending Timeout from this environment (the
+            # common `yield env.timeout(...)` case) — attach directly,
+            # skipping the isinstance / cross-env checks.
+            cbs = next_event.callbacks
+            if cbs is not None:
+                if next_event._waiter is None and not cbs:
+                    next_event._waiter = self._resume_cb
+                else:
+                    self._cb_index = len(cbs)
+                    cbs.append(self._resume_cb)
+                self._target = next_event
+                return
+        self._wait_slow(next_event)
+
+    def _wait_slow(self, next_event: Any) -> None:
+        """General wait path: validation, non-events, processed events."""
         if not isinstance(next_event, Event):
             error = SimulationError(
                 f"process {self.name!r} yielded a non-event: {next_event!r}")
@@ -241,23 +352,24 @@ class Process(Event):
                 # refuse to continue a misbehaving process.
                 self._generator.close()
                 failed_ok, failed_value = False, error
-            if not self.triggered:
+            if self._value is _PENDING:
                 self._ok = failed_ok
                 self._value = failed_value
                 self.env._schedule(self, NORMAL)
             return
         if next_event.env is not self.env:
             raise SimulationError("event belongs to a different environment")
-        if next_event.callbacks is None:
+        cbs = next_event.callbacks
+        if cbs is None:
             # Already processed: resume immediately with its stored value.
-            immediate = Event(self.env)
-            immediate._ok = next_event._ok
-            immediate._value = next_event._value
-            immediate.callbacks.append(self._resume)
-            self.env._schedule(immediate, URGENT)
-            self._target = immediate
+            self._target = self.env._schedule_hook(
+                self._resume_cb, URGENT, next_event._ok, next_event._value)
         else:
-            next_event.callbacks.append(self._resume)
+            if next_event._waiter is None and not cbs:
+                next_event._waiter = self._resume_cb
+            else:
+                self._cb_index = len(cbs)
+                cbs.append(self._resume_cb)
             self._target = next_event
 
 
@@ -269,7 +381,7 @@ class _Condition(Event):
     value from creation, so ``triggered`` alone cannot be used here.
     """
 
-    __slots__ = ("events", "_unfired", "_fired")
+    __slots__ = ("events", "_unfired", "_fired", "_check_cb")
 
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
@@ -278,6 +390,7 @@ class _Condition(Event):
             raise SimulationError("events from different environments")
         self._unfired = 0
         self._fired = 0
+        self._check_cb = self._check
         failed = None
         for event in self.events:
             if event.callbacks is None:  # already processed
@@ -286,7 +399,7 @@ class _Condition(Event):
                 self._fired += 1
             else:
                 self._unfired += 1
-                event.callbacks.append(self._check)
+                event.callbacks.append(self._check_cb)
         if failed is not None:
             self.fail(failed)
         else:
@@ -332,13 +445,44 @@ class AnyOf(_Condition):
 
 
 class Environment:
-    """The simulation clock and event queue."""
+    """The simulation clock and event queue.
+
+    The queue is a two-level calendar: a heap of *distinct* event times
+    (``_times``) plus, per time, a bucket of two append-only FIFO lists
+    — one per scheduling priority (``_buckets[t] = (urgent, normal)``).
+    Scheduling an event at an already-pending time is a dict hit and a
+    ``list.append``; the heap is only touched once per distinct
+    timestamp.  Draining a bucket replays exactly the classic
+    ``(time, priority, seq)`` order: bucket times ascend, all URGENT
+    entries at a time fire before all NORMAL ones (URGENT arrivals are
+    re-checked between events, so they preempt the rest of the NORMAL
+    backlog at the same time), and within a priority the append order
+    *is* the sequence order.  Entries are bare event references — no
+    per-event tuple is allocated.
+    """
+
+    __slots__ = ("_now", "_times", "_buckets", "_bucket_pool",
+                 "_active_process", "_timeout_pool", "_hook_pool",
+                 "_last_time", "_last_bucket",
+                 "_pending", "_events_processed", "_peak_queue",
+                 "_busy_seconds")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: List[tuple] = []
-        self._seq = 0
+        self._times: List[float] = []
+        self._buckets: Dict[float, tuple] = {}
+        self._bucket_pool: List[tuple] = []
         self._active_process: Optional[Process] = None
+        self._timeout_pool: List[Timeout] = []
+        self._hook_pool: List[_Hook] = []
+        # One-entry bucket cache: synchronized models schedule many
+        # events at the same future time back to back.
+        self._last_time: Optional[float] = None
+        self._last_bucket: Optional[tuple] = None
+        self._pending = 0
+        self._events_processed = 0
+        self._peak_queue = 0
+        self._busy_seconds = 0.0
 
     @property
     def now(self) -> float:
@@ -348,14 +492,70 @@ class Environment:
     def active_process(self) -> Optional[Process]:
         return self._active_process
 
+    @property
+    def stats(self) -> Dict[str, Any]:
+        """Kernel counters: work done and how fast it was dispatched.
+
+        ``events_per_sec`` is events over the wall-clock time spent
+        inside :meth:`run`/:meth:`step` (simulated time never touches a
+        wall clock); it is the perf-harness headline number.
+        """
+        busy = self._busy_seconds
+        return {
+            "events_processed": self._events_processed,
+            "events_per_sec": self._events_processed / busy if busy > 0 else 0.0,
+            "busy_seconds": busy,
+            "peak_queue_depth": self._peak_queue,
+            "pooled_timeouts": len(self._timeout_pool),
+            "pooled_hooks": len(self._hook_pool),
+        }
+
     # -- scheduling ------------------------------------------------------
+
+    def _bucket(self, time: float) -> tuple:
+        """The (urgent, normal) bucket for ``time``, creating if absent."""
+        bucket = self._buckets.get(time)
+        if bucket is None:
+            pool = self._bucket_pool
+            bucket = pool.pop() if pool else ([], [])
+            self._buckets[time] = bucket
+            heappush(self._times, time)
+        return bucket
 
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
         if event._scheduled:
             return
         event._scheduled = True
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+        self._bucket(self._now + delay)[priority].append(event)
+        self._pending += 1
+
+    def _schedule_hook(self, callback: Callable[[Event], None],
+                       priority: int, ok: bool, value: Any) -> "_Hook":
+        """Schedule a pooled single-callback wakeup at the current time.
+
+        Takes the same slot in scheduling order as the fresh ``Event``
+        (or ``Initialize``) the seed kernel allocated here, so event
+        ordering is unchanged.
+        """
+        pool = self._hook_pool
+        if pool:
+            hook = pool.pop()
+            hook._ok = ok
+            hook._value = value
+            hook._processed = False
+            hook.callbacks.append(callback)
+        else:
+            hook = _Hook.__new__(_Hook)
+            hook.env = self
+            hook.callbacks = [callback]
+            hook._waiter = None
+            hook._ok = ok
+            hook._value = value
+            hook._processed = False
+            hook._scheduled = True
+        self._bucket(self._now)[priority].append(hook)
+        self._pending += 1
+        return hook
 
     # -- factories -------------------------------------------------------
 
@@ -363,7 +563,39 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+        """A :class:`Timeout` from the free list (allocates only when empty)."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        pool = self._timeout_pool
+        if pool:
+            timeout = pool.pop()
+            timeout._value = value
+            timeout._processed = False
+        else:
+            timeout = Timeout.__new__(Timeout)
+            timeout.env = self
+            timeout.callbacks = []
+            timeout._waiter = None
+            timeout._ok = True
+            timeout._value = value
+            timeout._processed = False
+            timeout._scheduled = True
+        timeout.delay = delay
+        time = self._now + delay
+        if time == self._last_time:
+            bucket = self._last_bucket
+        else:
+            bucket = self._buckets.get(time)
+            if bucket is None:
+                pool = self._bucket_pool
+                bucket = pool.pop() if pool else ([], [])
+                self._buckets[time] = bucket
+                heappush(self._times, time)
+            self._last_time = time
+            self._last_bucket = bucket
+        bucket[1].append(timeout)   # NORMAL priority
+        self._pending += 1
+        return timeout
 
     def process(self, generator: Generator[Event, Any, Any],
                 name: str = "") -> Process:
@@ -377,20 +609,69 @@ class Environment:
 
     # -- execution -------------------------------------------------------
 
+    def _retire_bucket(self, time: float, bucket: tuple) -> None:
+        """Drop a fully drained bucket and recycle its list pair."""
+        del self._buckets[time]
+        heappop(self._times)
+        if time == self._last_time:
+            self._last_time = None
+            self._last_bucket = None
+        if len(self._bucket_pool) < 64:
+            self._bucket_pool.append(bucket)
+
     def peek(self) -> float:
-        """Time of the next scheduled event, or +inf if queue is empty."""
-        return self._queue[0][0] if self._queue else float("inf")
+        """Time of the next scheduled event, or +inf if queue is empty.
+
+        Sweeps any bucket a previous early-stopped run drained but did
+        not retire, so the reported time always has a live event.
+        """
+        times = self._times
+        buckets = self._buckets
+        while times:
+            time = times[0]
+            bucket = buckets[time]
+            if bucket[0] or bucket[1]:
+                return time
+            self._retire_bucket(time, bucket)
+        return _INF
 
     def step(self) -> None:
-        """Process the single next event."""
-        if not self._queue:
+        """Process the single next event.
+
+        Semantically identical to one iteration of :meth:`run`'s inner
+        loop, minus event recycling (stepping is a debug/test path; the
+        free lists only fill from :meth:`run`).
+        """
+        if self.peek() == _INF:
             raise SimulationError("no scheduled events")
-        self._now, _, _, event = heapq.heappop(self._queue)
-        callbacks, event.callbacks = event.callbacks, None
+        t0 = perf_counter()
+        time = self._times[0]
+        bucket = self._buckets[time]
+        urgent, normal = bucket
+        event = urgent.pop(0) if urgent else normal.pop(0)
+        if not urgent and not normal:
+            self._retire_bucket(time, bucket)
+        self._now = time
+        self._pending -= 1
+        callbacks = event.callbacks
+        event.callbacks = None
+        waiter = event._waiter
+        if waiter is not None:
+            event._waiter = None
+            waiter(event)
+            fired = True
+        else:
+            fired = False
         for callback in callbacks:
-            callback(event)
+            if callback is not None:
+                callback(event)
+                fired = True
         event._processed = True
-        if not event._ok and not callbacks and not isinstance(event, Process):
+        self._events_processed += 1
+        global _total_events
+        _total_events += 1
+        self._busy_seconds += perf_counter() - t0
+        if not fired and not event._ok and not isinstance(event, Process):
             # A failed event nobody waited for: surface the error.
             raise event._value
 
@@ -398,24 +679,162 @@ class Environment:
             until_event: Optional[Event] = None) -> Any:
         """Run until the queue drains, time ``until``, or ``until_event``.
 
-        Returns the value of ``until_event`` if given and it fired.
+        Returns the value of ``until_event`` if given and it fired.  If
+        ``until`` is given the clock always lands exactly on ``until``
+        when the run stops early — including when the queue drains
+        first — so wall-clock-style bookkeeping against ``env.now`` is
+        branch-independent.
         """
         if until is not None and until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
-        stop = until if until is not None else float("inf")
-        while self._queue:
-            if until_event is not None and until_event.triggered:
-                break
-            if self._queue[0][0] > stop:
-                self._now = stop
-                return None
-            self.step()
+        stop = until if until is not None else _INF
+        times = self._times
+        buckets = self._buckets
+        timeout_pool = self._timeout_pool
+        hook_pool = self._hook_pool
+        timeout_cls = Timeout
+        hook_cls = _Hook
+        refcount = getrefcount
+        pool_limit = _POOL_LIMIT
+        pending_sentinel = _PENDING
+        check_event = until_event is not None
+        processed = 0
+        done = False
+        t0 = perf_counter()
+        try:
+            while times:
+                time = times[0]
+                if time > stop:
+                    self._now = stop
+                    break
+                bucket = buckets[time]
+                urgent = bucket[0]
+                normal = bucket[1]
+                self._now = time
+                live = self._pending - processed
+                if live > self._peak_queue:
+                    # Peak depth is sampled at time-advance granularity.
+                    self._peak_queue = live
+                ui = 0
+                ni = 0
+                nlen = len(normal)
+                try:
+                    while True:
+                        if check_event and \
+                                until_event._value is not pending_sentinel:
+                            done = True
+                            break
+                        # URGENT is re-checked every iteration so a
+                        # just-scheduled urgent event preempts the
+                        # remaining NORMAL backlog at this time.
+                        if ui < len(urgent):
+                            event = urgent[ui]
+                            ui += 1
+                        elif ni < nlen:
+                            event = normal[ni]
+                            ni += 1
+                        else:
+                            # The cursor caught up with the cached
+                            # length: re-measure once in case dispatch
+                            # appended same-time events, then stop.
+                            nlen = len(normal)
+                            if ni >= nlen:
+                                break
+                            event = normal[ni]
+                            ni += 1
+                        callbacks = event.callbacks
+                        event.callbacks = None
+                        processed += 1
+                        waiter = event._waiter
+                        if waiter is not None:
+                            # Single waiter in the slot — the
+                            # overwhelmingly common case.
+                            event._waiter = None
+                            waiter(event)
+                            fired = True
+                            if callbacks:
+                                for callback in callbacks:
+                                    if callback is not None:
+                                        callback(event)
+                        else:
+                            fired = False
+                            for callback in callbacks:
+                                if callback is not None:
+                                    callback(event)
+                                    fired = True
+                        event._processed = True
+                        if not fired and not event._ok and \
+                                not isinstance(event, Process):
+                            # A failed event nobody waited for: surface
+                            # the error.
+                            raise event._value
+                        # Recycle the event if the kernel holds the last
+                        # references (the bucket slot, local `event`,
+                        # and getrefcount's argument).
+                        cls = event.__class__
+                        if cls is timeout_cls:
+                            if len(timeout_pool) < pool_limit and \
+                                    refcount(event) == 3:
+                                if callbacks:
+                                    callbacks.clear()
+                                event.callbacks = callbacks
+                                timeout_pool.append(event)
+                        elif cls is hook_cls:
+                            if len(hook_pool) < pool_limit and \
+                                    refcount(event) == 3:
+                                if callbacks:
+                                    callbacks.clear()
+                                event.callbacks = callbacks
+                                hook_pool.append(event)
+                finally:
+                    # On any exit — drained, until_event, or a raising
+                    # callback — drop consumed slots so re-entry never
+                    # re-fires a processed event.
+                    if ui:
+                        del urgent[:ui]
+                    if ni:
+                        del normal[:ni]
+                if not urgent and not normal:
+                    self._retire_bucket(time, bucket)
+                if done:
+                    break
+        finally:
+            self._busy_seconds += perf_counter() - t0
+            self._events_processed += processed
+            self._pending -= processed
+            global _total_events
+            _total_events += processed
         if until_event is not None:
-            if not until_event.triggered:
-                raise SimulationError("until_event never fired")
-            if not until_event._ok:
-                raise until_event._value
-            return until_event._value
-        if until is not None:
-            self._now = max(self._now, stop) if stop != float("inf") else self._now
+            if until_event._value is not _PENDING:
+                if not until_event._ok:
+                    raise until_event._value
+                return until_event._value
+            if until is not None:
+                # The queue drained (or `stop` was reached) before the
+                # event fired; land on `until` and report via the
+                # still-pending event rather than raising.
+                if stop != _INF:
+                    self._now = stop
+                return None
+            raise SimulationError("until_event never fired")
+        if until is not None and stop != _INF:
+            self._now = stop
         return None
+
+
+def run_proc(env: Environment, gen: Generator,
+             horizon: float = 5_000_000_000.0) -> Any:
+    """Run one process to completion and return its value.
+
+    The run-to-completion idiom shared by benchmarks, examples and
+    tests: stops as soon as the process finishes (important when
+    background traffic generators would otherwise run to the horizon),
+    and raises if the horizon passes first.
+    """
+    proc = env.process(gen)
+    env.run(until=env.now + horizon, until_event=proc)
+    if not proc.triggered:
+        raise RuntimeError("process did not finish within horizon")
+    if not proc.ok:
+        raise proc.value
+    return proc.value

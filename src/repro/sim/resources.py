@@ -62,6 +62,8 @@ class Request(Event):
 class Resource:
     """A counted resource with ``capacity`` concurrent holders."""
 
+    __slots__ = ("env", "capacity", "users", "_waiters", "_seq")
+
     def __init__(self, env: Environment, capacity: int = 1) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
@@ -120,6 +122,8 @@ class Resource:
 class PriorityResource(Resource):
     """A resource whose waiters are served lowest priority value first."""
 
+    __slots__ = ()
+
     def _queue_request(self, request: Request) -> None:
         heapq.heappush(self._heap(), (request.key, request))
 
@@ -172,6 +176,8 @@ class Store:
     (used e.g. to pull a completion for a specific transaction tag).
     """
 
+    __slots__ = ("env", "capacity", "items", "_put_waiters", "_get_waiters")
+
     def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be > 0, got {capacity}")
@@ -220,21 +226,25 @@ class Store:
         return False
 
     def _trigger(self) -> None:
+        # Single pass per round, rebuilding the waiter lists in place
+        # (preserves FIFO order) instead of copy + O(n) removes.
         progressed = True
         while progressed:
             progressed = False
-            for event in list(self._get_waiters):
-                if event.triggered:
-                    self._get_waiters.remove(event)
-                elif self._do_get(event):
-                    self._get_waiters.remove(event)
+            get_waiters = self._get_waiters
+            if get_waiters:
+                keep = [event for event in get_waiters
+                        if not event.triggered and not self._do_get(event)]
+                if len(keep) != len(get_waiters):
                     progressed = True
-            for event in list(self._put_waiters):
-                if event.triggered:
-                    self._put_waiters.remove(event)
-                elif self._do_put(event):
-                    self._put_waiters.remove(event)
+                    get_waiters[:] = keep
+            put_waiters = self._put_waiters
+            if put_waiters:
+                keep = [event for event in put_waiters
+                        if not event.triggered and not self._do_put(event)]
+                if len(keep) != len(put_waiters):
                     progressed = True
+                    put_waiters[:] = keep
 
 
 _NOTHING = object()
@@ -290,6 +300,8 @@ class ContainerGet(Event):
 class Container:
     """A continuous quantity with blocking put/get (credit pools, bytes)."""
 
+    __slots__ = ("env", "capacity", "level", "_put_waiters", "_get_waiters")
+
     def __init__(self, env: Environment, capacity: float = float("inf"),
                  init: float = 0.0) -> None:
         if capacity <= 0:
@@ -308,27 +320,48 @@ class Container:
     def get(self, amount: float) -> ContainerGet:
         return ContainerGet(self, amount)
 
+    def _serve_gets(self) -> bool:
+        """Serve get waiters head-first; stop at the first blocked one.
+
+        FIFO: a blocked head must not be starved by later, smaller gets,
+        so everything from the first blocked waiter on is kept as-is.
+        """
+        waiters = self._get_waiters
+        progressed = False
+        for i, event in enumerate(waiters):
+            if event.triggered:
+                continue
+            if event.amount <= self.level:
+                self.level -= event.amount
+                event.succeed()
+                progressed = True
+            else:
+                waiters[:] = waiters[i:]
+                return progressed
+        waiters.clear()
+        return progressed
+
+    def _serve_puts(self) -> bool:
+        waiters = self._put_waiters
+        progressed = False
+        for i, event in enumerate(waiters):
+            if event.triggered:
+                continue
+            if self.level + event.amount <= self.capacity:
+                self.level += event.amount
+                event.succeed()
+                progressed = True
+            else:
+                waiters[:] = waiters[i:]
+                return progressed
+        waiters.clear()
+        return progressed
+
     def _trigger(self) -> None:
         progressed = True
         while progressed:
             progressed = False
-            for event in list(self._get_waiters):
-                if event.triggered:
-                    self._get_waiters.remove(event)
-                elif event.amount <= self.level:
-                    self.level -= event.amount
-                    event.succeed()
-                    self._get_waiters.remove(event)
-                    progressed = True
-                else:
-                    break  # FIFO: don't let later gets starve the head
-            for event in list(self._put_waiters):
-                if event.triggered:
-                    self._put_waiters.remove(event)
-                elif self.level + event.amount <= self.capacity:
-                    self.level += event.amount
-                    event.succeed()
-                    self._put_waiters.remove(event)
-                    progressed = True
-                else:
-                    break
+            if self._get_waiters and self._serve_gets():
+                progressed = True
+            if self._put_waiters and self._serve_puts():
+                progressed = True

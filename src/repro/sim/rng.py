@@ -11,6 +11,11 @@ from __future__ import annotations
 import random
 from typing import List, Sequence, TypeVar
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a baked-in dependency
+    _np = None
+
 T = TypeVar("T")
 
 __all__ = ["SimRng"]
@@ -58,6 +63,31 @@ class SimRng:
         if rate <= 0:
             raise ValueError(f"rate must be > 0, got {rate}")
         return self._random.expovariate(rate)
+
+    def random_block(self, n: int):
+        """``n`` floats identical to ``n`` successive :meth:`random` calls.
+
+        CPython's ``random.Random`` and numpy's legacy ``RandomState``
+        share both the MT19937 generator and the 53-bit double recipe,
+        so the block is produced vectorized by transplanting the
+        Mersenne state into numpy, drawing, and transplanting it back —
+        the stream advances exactly as ``n`` scalar calls would.  This
+        is what lets trace generation vectorize without perturbing any
+        seeded run.  Returns an ndarray (a plain list without numpy).
+        """
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        if _np is None:
+            scalar = self._random.random
+            return [scalar() for _ in range(n)]
+        version, internal, gauss = self._random.getstate()
+        state = _np.random.RandomState()
+        state.set_state(("MT19937", internal[:-1], internal[-1]))
+        block = state.random_sample(n)
+        _, keys, pos, _, _ = state.get_state()
+        self._random.setstate(
+            (version, tuple(map(int, keys)) + (pos,), gauss))
+        return block
 
     # -- domain helpers ---------------------------------------------------
 

@@ -3,19 +3,36 @@
 All generators yield ``(address, is_write)`` tuples suitable for
 :meth:`repro.infra.cpu.CpuCore.run` and the Table 2 / ablation
 benchmarks.  Addresses are aligned to cachelines.
+
+The heavy generators (``sequential``, ``zipfian``, ``pointer_chase``,
+``read_write_mix``) vectorize their arithmetic and random draws with
+numpy in cacheline-sized chunks, then stream the tuples out lazily.
+The random draws go through :meth:`repro.sim.SimRng.random_block`,
+which advances the underlying Mersenne stream exactly as the scalar
+calls would — a seeded trace is bit-identical with or without numpy.
+``uniform`` stays scalar: ``randint`` consumes a data-dependent number
+of raw draws, which no block transplant can reproduce.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Tuple
 
 from .. import params
 from ..sim import SimRng
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a baked-in dependency
+    _np = None
 
 __all__ = ["sequential", "uniform", "zipfian", "pointer_chase",
            "phased_working_sets", "read_write_mix"]
 
 LINE = params.CACHELINE_BYTES
+
+#: Tuples generated per vectorized batch.
+_CHUNK = 8192
 
 
 def _align(addr: int) -> int:
@@ -27,6 +44,16 @@ def sequential(base: int, count: int, stride: int = LINE,
     """A streaming scan: base, base+stride, ..."""
     if stride == 0:
         raise ValueError("stride must be non-zero")
+    if _np is not None and count >= 256:
+        start = 0
+        while start < count:
+            n = min(_CHUNK, count - start)
+            steps = _np.arange(start, start + n, dtype=_np.int64)
+            addrs = ((base + steps * stride) // LINE) * LINE
+            for addr in addrs.tolist():
+                yield addr, is_write
+            start += n
+        return
     for i in range(count):
         yield _align(base + i * stride), is_write
 
@@ -49,9 +76,38 @@ def zipfian(base: int, span: int, count: int, rng: SimRng,
     if span < LINE:
         raise ValueError("span must cover at least one line")
     lines = span // LINE
-    for _ in range(count):
-        line = rng.zipf_index(lines, alpha)
-        yield base + line * LINE, rng.bernoulli(write_fraction)
+    if _np is None:
+        for _ in range(count):
+            line = rng.zipf_index(lines, alpha)
+            yield base + line * LINE, rng.bernoulli(write_fraction)
+        return
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {write_fraction}")
+    # Mirror SimRng.zipf_index exactly: same alpha clamp, the same
+    # `n * u**(1/(1-alpha))` evaluation order, truncation, and top clip
+    # — and, for a single line, no zipf draw at all.
+    adjusted = 0.9999 if alpha == 1.0 else alpha
+    start = 0
+    while start < count:
+        n = min(_CHUNK, count - start)
+        if lines == 1:
+            writes = rng.random_block(n) < write_fraction
+            for is_write in writes.tolist():
+                yield base, is_write
+        else:
+            block = rng.random_block(2 * n)
+            zipf_draws = block[0::2]
+            if adjusted < 1.0:
+                xs = (lines * zipf_draws **
+                      (1.0 / (1.0 - adjusted))).astype(_np.int64)
+                _np.minimum(xs, lines - 1, out=xs)
+            else:
+                xs = _np.zeros(n, dtype=_np.int64)
+            addrs = (base + xs * LINE).tolist()
+            writes = (block[1::2] < write_fraction).tolist()
+            for pair in zip(addrs, writes):
+                yield pair
+        start += n
 
 
 def pointer_chase(base: int, span: int, count: int, rng: SimRng
@@ -66,10 +122,10 @@ def pointer_chase(base: int, span: int, count: int, rng: SimRng
         raise ValueError("span must cover at least two lines")
     order = list(range(lines))
     rng.shuffle(order)
-    position = 0
-    for _ in range(count):
-        yield base + order[position] * LINE, False
-        position = (position + 1) % lines
+    # One cycle of concrete addresses, replayed modulo its length.
+    cycle = [base + line * LINE for line in order]
+    for i in range(count):
+        yield cycle[i % lines], False
 
 
 def phased_working_sets(base: int, phase_span: int, phases: int,
@@ -91,5 +147,12 @@ def read_write_mix(addrs: List[int], rng: SimRng,
                    write_fraction: float = 0.5
                    ) -> Iterator[Tuple[int, bool]]:
     """Stamp a write fraction onto a fixed address list."""
-    for addr in addrs:
-        yield _align(addr), rng.bernoulli(write_fraction)
+    if _np is None or len(addrs) < 64:
+        for addr in addrs:
+            yield _align(addr), rng.bernoulli(write_fraction)
+        return
+    if not 0.0 <= write_fraction <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {write_fraction}")
+    writes = (rng.random_block(len(addrs)) < write_fraction).tolist()
+    for addr, is_write in zip(addrs, writes):
+        yield _align(addr), is_write

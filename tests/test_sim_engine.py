@@ -415,3 +415,140 @@ def test_process_target_visible_while_waiting():
     assert proc.target is not None
     env.run()
     assert proc.triggered
+
+
+# -- fast-path satellites -------------------------------------------------
+
+
+def test_run_until_lands_on_until_when_queue_drains_early():
+    env = Environment()
+    env.process(iter_timeout(env, 10))
+    env.run(until=50)
+    # The queue drained at t=10; the clock must still land on `until`.
+    assert env.now == 50
+
+
+def test_run_until_lands_on_until_with_unfired_event():
+    env = Environment()
+    env.process(iter_timeout(env, 10))
+    never = env.event()
+    result = env.run(until=50, until_event=never)
+    assert result is None
+    assert env.now == 50
+
+
+def test_stale_interrupt_on_process_that_died_is_dropped():
+    env = Environment()
+    causes = []
+
+    def victim():
+        try:
+            yield env.timeout(100)
+        except Interrupt as interrupt:
+            causes.append(interrupt.cause)
+        # Returning here kills the process while the second interrupt
+        # wakeup is still queued; that wakeup must be dropped, not
+        # thrown into the exhausted generator.
+
+    def attacker(proc):
+        yield env.timeout(5)
+        proc.interrupt("first")
+        proc.interrupt("second")
+
+    proc = env.process(victim())
+    env.process(attacker(proc))
+    env.run()
+    assert causes == ["first"]
+    assert proc.triggered
+    assert proc.ok
+
+
+def test_interrupt_scheduled_then_process_finishes_same_tick():
+    env = Environment()
+    order = []
+
+    def victim():
+        try:
+            yield env.timeout(5)
+            order.append("finished")
+        except Interrupt as interrupt:
+            order.append(f"interrupted:{interrupt.cause}")
+
+    def attacker(proc):
+        # t=0, before victim's initializer has run its first step: the
+        # interrupt wakeup and the initializer share the tick.
+        proc.interrupt("early")
+        return
+        yield
+
+    proc = env.process(victim())
+    env.process(attacker(proc))
+    env.run()
+    assert order == ["interrupted:early"]
+    assert proc.triggered
+
+
+def test_two_processes_share_one_timeout_fifo_order():
+    env = Environment()
+    order = []
+    timeout = None
+
+    def maker():
+        nonlocal timeout
+        timeout = env.timeout(10)
+        yield timeout
+        order.append("first")
+
+    def follower():
+        yield env.timeout(0)
+        yield timeout
+        order.append("second")
+
+    env.process(maker())
+    env.process(follower())
+    env.run()
+    assert order == ["first", "second"]
+
+
+def test_environment_stats_counters():
+    env = Environment()
+
+    def ticker():
+        for _ in range(50):
+            yield env.timeout(1.0)
+
+    for _ in range(4):
+        env.process(ticker())
+    env.run()
+    stats = env.stats
+    # 4 starts + 4*50 timeouts + 4 completions.
+    assert stats["events_processed"] == 4 + 200 + 4
+    assert stats["events_per_sec"] > 0
+    assert stats["peak_queue_depth"] >= 4
+    assert stats["pooled_timeouts"] >= 1
+
+
+def test_run_proc_exported_from_sim():
+    from repro.sim import run_proc
+
+    env = Environment()
+
+    def job():
+        yield env.timeout(7)
+        return "ok"
+
+    assert run_proc(env, job()) == "ok"
+    assert env.now == 7
+
+
+def test_run_proc_horizon_raises():
+    from repro.sim import run_proc
+
+    env = Environment()
+
+    def forever():
+        while True:
+            yield env.timeout(10)
+
+    with pytest.raises(RuntimeError):
+        run_proc(env, forever(), horizon=100)
