@@ -24,6 +24,7 @@ from __future__ import annotations
 import argparse
 import json
 import platform
+import subprocess
 import sys
 from pathlib import Path
 from time import perf_counter
@@ -71,7 +72,24 @@ def next_bench_path(root: Path) -> Path:
         suffix = existing.stem.split("_", 1)[1]
         if suffix.isdigit():
             taken.append(int(suffix))
-    return root / f"BENCH_{max(taken) + 1 if taken else 1}.json"
+    n = max(taken) + 1 if taken else 1
+    # Walk past any non-numeric squatters (BENCH_2b.json) so an
+    # existing file is never overwritten.
+    while (root / f"BENCH_{n}.json").exists():
+        n += 1
+    return root / f"BENCH_{n}.json"
+
+
+def git_sha(root: Path) -> Optional[str]:
+    """The current commit, so a BENCH file is traceable to the tree."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=root, check=True,
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha or None
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -162,6 +180,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "schema": 1,
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "git_sha": git_sha(_HERE.parent),
         "smoke": args.smoke,
         "experiments": experiments,
         "invariant_failures": failures,

@@ -1,0 +1,45 @@
+"""The fcc-check rule set.
+
+============  ==================  ==================================
+code          slug                flags
+============  ==================  ==================================
+``FCC001``    ``seeded-rng``      ``random`` / ``numpy.random``
+                                  module use instead of the seeded
+                                  :class:`repro.sim.SimRng` stream
+``FCC002``    ``wall-clock``      ``time.time`` / ``datetime.now`` /
+                                  ``perf_counter`` calls that break
+                                  replayability (``benchmarks/`` is
+                                  exempt by design)
+``FCC003``    ``generator-return``  a generator process returning a
+                                  value before its first ``yield``
+``FCC004``    ``mutable-state``   mutable default arguments and
+                                  module-level mutable containers
+``FCC005``    ``unordered-iter``  iteration over unordered ``set``
+                                  values feeding deterministic code
+============  ==================  ==================================
+
+To add a rule: subclass :class:`repro.analysis.lint.LintCheck` in a
+new module here, give it the next free ``FCCnnn`` code and a slug, and
+append the class to :data:`CHECKS`.  Fixture-test it in
+``tests/test_analysis_lint.py`` (one bad fixture per rule, and keep
+``tests/fixtures/lint/clean.py`` clean).
+"""
+
+from .generator_return import GeneratorReturnCheck
+from .mutable_state import MutableStateCheck
+from .rng_use import SeededRngCheck
+from .unordered_iter import UnorderedIterCheck
+from .wall_clock import WallClockCheck
+
+#: every registered rule, in code order
+CHECKS = [
+    SeededRngCheck,
+    WallClockCheck,
+    GeneratorReturnCheck,
+    MutableStateCheck,
+    UnorderedIterCheck,
+]
+
+__all__ = ["CHECKS", "SeededRngCheck", "WallClockCheck",
+           "GeneratorReturnCheck", "MutableStateCheck",
+           "UnorderedIterCheck"]

@@ -1,0 +1,77 @@
+"""FCC003: a generator process must not return a value before yielding.
+
+Model processes are generator functions: the kernel only sees them at
+``yield`` points.  A ``return value`` that executes before the first
+``yield`` makes the process finish in zero simulated time with the
+value smuggled out through ``StopIteration`` — almost always a
+refactor accident (someone converted a plain function into a process,
+or an early-exit short-circuits the whole model).  Nothing crashes;
+the experiment just silently loses a participant.
+
+The rule flags the statically certain case: inside a generator
+function (a ``def`` whose own body contains ``yield``/``yield from``,
+ignoring nested defs), an *unconditional* ``return <value>`` at the
+top level of the body before the first ``yield`` — every execution of
+such a generator ends without yielding.  Conditional early exits
+(``if miss: return False`` ahead of the main loop) are the idiomatic
+zero-sim-time fast path of ``yield from`` helpers and are allowed, as
+are bare ``return`` guards.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from ..lint import LintCheck, SourceFile, Violation
+
+__all__ = ["GeneratorReturnCheck"]
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+def _own_nodes(func: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function body without descending into nested defs."""
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _FUNCTION_NODES + (ast.Lambda,)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class GeneratorReturnCheck(LintCheck):
+    code = "FCC003"
+    slug = "generator-return"
+    summary = ("generator process returns a value before its first "
+               "yield (finishes in zero simulated time)")
+
+    def violations(self, source: SourceFile,
+                   tree: ast.Module) -> Iterator[Violation]:
+        for func in ast.walk(tree):
+            if not isinstance(func, _FUNCTION_NODES):
+                continue
+            yields: List[int] = []
+            for node in _own_nodes(func):
+                if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                    yields.append(node.lineno)
+            if not yields:
+                continue
+            first_yield = min(yields)
+            # Only *unconditional* returns: direct statements of the
+            # function body, never nested in if/try/loop.
+            for stmt in func.body:
+                if not (isinstance(stmt, ast.Return)
+                        and stmt.value is not None):
+                    continue
+                if (isinstance(stmt.value, ast.Constant)
+                        and stmt.value.value is None):
+                    continue
+                if stmt.lineno < first_yield:
+                    yield self.hit(
+                        source, stmt,
+                        f"generator `{func.name}` unconditionally "
+                        f"returns a value on line {stmt.lineno}, before "
+                        f"its first yield (line {first_yield}); the "
+                        "process always ends without yielding an Event")

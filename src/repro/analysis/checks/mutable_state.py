@@ -1,0 +1,95 @@
+"""FCC004: mutable defaults and module-level mutable state.
+
+Both are cross-run state smuggled past the seed:
+
+* A mutable default argument (``def f(x, acc=[])``) is evaluated once
+  at import; every call shares it, so the *order experiments run in*
+  changes results.
+* A module-level ``list``/``dict``/``set`` survives between
+  environments in one interpreter — two back-to-back runs of the same
+  seeded experiment can observe different state (exactly the bug class
+  the determinism tests exist to catch).
+
+``UPPER_CASE`` module-level names are treated as constants by
+convention and allowed (the catalog tables); dunder names
+(``__all__``) are always allowed.  Where a module-level registry is
+genuinely intended (e.g. a check registry filled at import and never
+mutated after), annotate the line with ``# fcc: allow[mutable-state]``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..lint import LintCheck, SourceFile, Violation
+
+__all__ = ["MutableStateCheck"]
+
+_CONSTANT_NAME = re.compile(r"^_?[A-Z][A-Z0-9_]*$")
+
+_MUTABLE_CALLS = frozenset({
+    "list", "dict", "set", "bytearray", "defaultdict", "OrderedDict",
+    "Counter", "deque",
+})
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None)
+        return name in _MUTABLE_CALLS
+    return False
+
+
+class MutableStateCheck(LintCheck):
+    code = "FCC004"
+    slug = "mutable-state"
+    summary = ("mutable default argument or module-level mutable "
+               "container (cross-run state)")
+
+    def violations(self, source: SourceFile,
+                   tree: ast.Module) -> Iterator[Violation]:
+        # -- mutable default arguments, anywhere -------------------------
+        for func in ast.walk(tree):
+            if not isinstance(func, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            args = func.args
+            defaults = list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None]
+            for default in defaults:
+                if _is_mutable_literal(default):
+                    name = getattr(func, "name", "<lambda>")
+                    yield self.hit(
+                        source, default,
+                        f"mutable default argument in `{name}`; "
+                        "default to None and build inside the body")
+
+        # -- module-level mutable containers -----------------------------
+        for stmt in tree.body:
+            if isinstance(stmt, ast.Assign):
+                value, targets = stmt.value, stmt.targets
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                value, targets = stmt.value, [stmt.target]
+            else:
+                continue
+            if not _is_mutable_literal(value):
+                continue
+            for target in targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                name = target.id
+                if name.startswith("__") and name.endswith("__"):
+                    continue
+                if _CONSTANT_NAME.match(name):
+                    continue
+                yield self.hit(
+                    source, stmt,
+                    f"module-level mutable state `{name}`; scope it to "
+                    "the Environment/experiment or mark it a constant")

@@ -1,0 +1,91 @@
+"""FCC001: sim code must draw randomness from ``repro.sim.SimRng``.
+
+A direct ``random`` or ``numpy.random`` module use inside simulation
+code either taps interpreter-global state (``random.random``) or
+builds a side stream the seed does not govern end to end
+(``np.random.default_rng``).  Both silently decouple a run from its
+seed: adding one draw anywhere reshuffles every draw after it.  The
+blessed path is an explicit :class:`repro.sim.SimRng` handed down from
+the experiment seed (fork sub-streams with ``rng.fork(tag)``, get a
+seeded numpy generator with ``rng.numpy_generator()``).
+
+``repro/sim/rng.py`` itself is exempt — it is the one module allowed
+to touch the underlying generators.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..lint import LintCheck, SourceFile, Violation
+
+__all__ = ["SeededRngCheck"]
+
+
+class SeededRngCheck(LintCheck):
+    code = "FCC001"
+    slug = "seeded-rng"
+    summary = ("direct random/numpy.random use; draw from the seeded "
+               "repro.sim.SimRng stream instead")
+    exempt = ("repro/sim/rng.py",)
+
+    def violations(self, source: SourceFile,
+                   tree: ast.Module) -> Iterator[Violation]:
+        random_aliases: Set[str] = set()
+        numpy_aliases: Set[str] = set()
+        numpy_random_aliases: Set[str] = set()
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random":
+                        random_aliases.add(alias.asname or "random")
+                        yield self.hit(source, node,
+                                       "import of the global `random` "
+                                       "module; use repro.sim.SimRng")
+                    elif alias.name == "numpy.random":
+                        numpy_random_aliases.add(
+                            alias.asname or "numpy")
+                        yield self.hit(source, node,
+                                       "import of `numpy.random`; use "
+                                       "SimRng.numpy_generator()")
+                    elif alias.name == "numpy":
+                        numpy_aliases.add(alias.asname or "numpy")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.hit(source, node,
+                                   "from-import of the global `random` "
+                                   "module; use repro.sim.SimRng")
+                elif node.module == "numpy.random":
+                    yield self.hit(source, node,
+                                   "from-import of `numpy.random`; use "
+                                   "SimRng.numpy_generator()")
+                elif node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            numpy_random_aliases.add(
+                                alias.asname or "random")
+                            yield self.hit(
+                                source, node,
+                                "from-import of numpy's `random` "
+                                "submodule; use "
+                                "SimRng.numpy_generator()")
+
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            value = node.value
+            # `<numpy-alias>.random.<anything>` — flag the inner
+            # `np.random` attribute once per use site.
+            if (node.attr == "random" and isinstance(value, ast.Name)
+                    and value.id in numpy_aliases):
+                yield self.hit(source, node,
+                               f"`{value.id}.random` module use; draw "
+                               "from SimRng.numpy_generator()")
+            elif (isinstance(value, ast.Name)
+                  and (value.id in random_aliases
+                       or value.id in numpy_random_aliases)):
+                yield self.hit(source, node,
+                               f"`{value.id}.{node.attr}` draws from "
+                               "global RNG state; use repro.sim.SimRng")

@@ -1,0 +1,65 @@
+"""FCC005: iterating an unordered ``set`` is a determinism hazard.
+
+Anything iterated in model code eventually feeds the scheduler —
+registration order becomes sequence-number order becomes the tie-break
+at equal timestamps.  ``set`` iteration order depends on insertion
+history *and* hash randomization of the element types, so a loop over
+a set can reorder otherwise-identical runs.  The fix is always the
+same: ``sorted(...)`` the set (or keep a list/dict, which preserve
+insertion order).
+
+Statically we cannot know every variable's type, so the rule flags the
+syntactically certain cases: ``for``/comprehension iteration directly
+over a set literal, a ``set(...)``/``frozenset(...)`` call, or a set
+algebra method (``union``/``intersection``/``difference``/
+``symmetric_difference``) — except when wrapped in ``sorted(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..lint import LintCheck, SourceFile, Violation
+
+__all__ = ["UnorderedIterCheck"]
+
+_SET_METHODS = frozenset({
+    "union", "intersection", "difference", "symmetric_difference",
+})
+
+
+def _unordered_reason(node: ast.AST) -> Optional[str]:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set literal"
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return f"a {func.id}(...) call"
+        if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+            return f"a .{func.attr}(...) result"
+    return None
+
+
+class UnorderedIterCheck(LintCheck):
+    code = "FCC005"
+    slug = "unordered-iter"
+    summary = ("iteration over an unordered set; wrap in sorted() "
+               "before it feeds the scheduler")
+
+    def violations(self, source: SourceFile,
+                   tree: ast.Module) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            iters = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.DictComp, ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            for iter_node in iters:
+                reason = _unordered_reason(iter_node)
+                if reason is not None:
+                    yield self.hit(
+                        source, iter_node,
+                        f"iteration over {reason} has no stable order; "
+                        "wrap it in sorted()")

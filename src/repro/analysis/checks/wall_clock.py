@@ -1,0 +1,96 @@
+"""FCC002: wall-clock reads break replayability.
+
+Simulated time is ``env.now``; the host's clock must never leak into
+model state, or a replay of the same seed on a different machine (or
+the same machine under load) diverges.  This rule flags reads of the
+host clock — ``time.time``/``perf_counter``/``monotonic`` and the
+``datetime`` "now" family — anywhere outside ``benchmarks/``, which
+measures wall-clock on purpose.
+
+The kernel's own busy-time counters (``Environment.stats``) are the
+one legitimate in-tree exception: they feed a perf report, never the
+schedule.  Those sites carry ``# fcc: allow[wall-clock]`` pragmas.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..lint import LintCheck, SourceFile, Violation
+
+__all__ = ["WallClockCheck"]
+
+#: wall-clock functions in the ``time`` module
+_TIME_FUNCS = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+})
+
+#: "now"-family constructors on datetime/date classes
+_DATETIME_FUNCS = frozenset({"now", "utcnow", "today"})
+
+
+class WallClockCheck(LintCheck):
+    code = "FCC002"
+    slug = "wall-clock"
+    summary = ("wall-clock read in simulation code; use env.now "
+               "(benchmarks/ is exempt)")
+    exempt = ("/benchmarks/",)
+
+    def violations(self, source: SourceFile,
+                   tree: ast.Module) -> Iterator[Violation]:
+        time_aliases: Set[str] = set()
+        datetime_mod_aliases: Set[str] = set()
+        datetime_cls_aliases: Set[str] = set()
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or "time")
+                    elif alias.name == "datetime":
+                        datetime_mod_aliases.add(alias.asname or "datetime")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _TIME_FUNCS:
+                            yield self.hit(
+                                source, node,
+                                f"from-import of wall-clock "
+                                f"`time.{alias.name}`; simulated time "
+                                "is env.now")
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in ("datetime", "date"):
+                            datetime_cls_aliases.add(
+                                alias.asname or alias.name)
+
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)):
+                continue
+            func = node.func
+            value = func.value
+            if (isinstance(value, ast.Name) and value.id in time_aliases
+                    and func.attr in _TIME_FUNCS):
+                yield self.hit(source, node,
+                               f"wall-clock call `{value.id}.{func.attr}()`; "
+                               "simulated time is env.now")
+            elif func.attr in _DATETIME_FUNCS:
+                # datetime.now(), date.today(), datetime.datetime.now()
+                if isinstance(value, ast.Name) and (
+                        value.id in datetime_cls_aliases
+                        or value.id in datetime_mod_aliases):
+                    yield self.hit(source, node,
+                                   f"wall-clock call "
+                                   f"`{value.id}.{func.attr}()`; "
+                                   "simulated time is env.now")
+                elif (isinstance(value, ast.Attribute)
+                      and isinstance(value.value, ast.Name)
+                      and value.value.id in datetime_mod_aliases
+                      and value.attr in ("datetime", "date")):
+                    yield self.hit(source, node,
+                                   f"wall-clock call `datetime."
+                                   f"{value.attr}.{func.attr}()`; "
+                                   "simulated time is env.now")

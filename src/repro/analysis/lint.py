@@ -1,0 +1,180 @@
+"""The fcc-check static lint framework.
+
+A *check* is a small class that walks a parsed module and yields
+:class:`Violation` records.  Checks are registered in
+:mod:`repro.analysis.checks` and share this infrastructure:
+
+* **Sources.**  :func:`run_lint` accepts files or directories; a
+  directory is walked recursively for ``*.py`` (skipping
+  ``__pycache__`` and hidden directories).  With no paths it lints the
+  installed ``repro`` package itself — the CI gate.
+* **Exemptions.**  A check may declare ``exempt`` path fragments
+  (e.g. the blessed RNG module is allowed to touch ``random``); a
+  fragment matches anywhere in the file's ``/``-joined path.
+* **Pragmas.**  A line ending in ``# fcc: allow[rule, ...]`` (rule
+  slug or FCC code) suppresses those rules on that line;
+  ``# fcc: allow`` suppresses every rule.  Use pragmas to document the
+  rare legitimate exception, e.g. the kernel's wall-clock perf
+  counters that never feed back into scheduling.
+
+Checks are pure ``ast`` consumers — no imports are executed, so the
+lint can safely run over broken or dependency-missing code.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import re
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+__all__ = ["Violation", "SourceFile", "LintCheck", "run_lint",
+           "violations_to_json", "iter_source_files"]
+
+#: ``# fcc: allow`` or ``# fcc: allow[slug-or-code, ...]``
+_PRAGMA = re.compile(r"#\s*fcc:\s*allow(?:\[([A-Za-z0-9_,\-\s]+)\])?")
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Violation:
+    """One rule hit at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.code} [{self.rule}] {self.message}")
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+class SourceFile:
+    """A parsed module plus its pragma map."""
+
+    def __init__(self, path: Path, text: Optional[str] = None) -> None:
+        self.path = path
+        self.text = path.read_text() if text is None else text
+        self.display = path.as_posix()
+        # Pragmas: line number -> suppressed rule slugs/codes ('*' = all).
+        self.allowed: Dict[int, Set[str]] = {}
+        for lineno, line in enumerate(self.text.splitlines(), start=1):
+            match = _PRAGMA.search(line)
+            if match is None:
+                continue
+            rules = match.group(1)
+            if rules is None:
+                self.allowed[lineno] = {"*"}
+            else:
+                self.allowed[lineno] = {
+                    r.strip().lower() for r in rules.split(",") if r.strip()}
+
+    def parse(self) -> ast.Module:
+        return ast.parse(self.text, filename=self.display)
+
+    def suppressed(self, violation: Violation) -> bool:
+        rules = self.allowed.get(violation.line)
+        if not rules:
+            return False
+        return ("*" in rules or violation.rule in rules
+                or violation.code.lower() in rules)
+
+
+class LintCheck:
+    """Base class for one lint rule.
+
+    Subclasses set ``code`` (``FCCnnn``), ``slug`` (the human rule
+    name used in pragmas), ``summary``, optionally ``exempt`` path
+    fragments, and implement :meth:`violations`.
+    """
+
+    code: str = "FCC000"
+    slug: str = "base"
+    summary: str = ""
+    #: path fragments (``/``-separated) this rule never applies to
+    exempt: Sequence[str] = ()
+
+    def applies_to(self, source: SourceFile) -> bool:
+        haystack = "/" + source.path.resolve().as_posix().lstrip("/")
+        return not any(fragment in haystack for fragment in self.exempt)
+
+    def violations(self, source: SourceFile,
+                   tree: ast.Module) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def hit(self, source: SourceFile, node: ast.AST,
+            message: str) -> Violation:
+        return Violation(path=source.display,
+                         line=getattr(node, "lineno", 0),
+                         col=getattr(node, "col_offset", 0),
+                         code=self.code, rule=self.slug, message=message)
+
+
+def default_lint_root() -> Path:
+    """The installed ``repro`` package directory (the default target)."""
+    return Path(__file__).resolve().parents[1]
+
+
+def iter_source_files(paths: Sequence[Path]) -> Iterator[Path]:
+    for path in paths:
+        if path.is_dir():
+            for child in sorted(path.rglob("*.py")):
+                parts = child.relative_to(path).parts
+                if any(p == "__pycache__" or p.startswith(".")
+                       for p in parts):
+                    continue
+                yield child
+        elif path.suffix == ".py":
+            yield path
+
+
+def all_checks() -> List[LintCheck]:
+    """Fresh instances of every registered check."""
+    from .checks import CHECKS
+    return [cls() for cls in CHECKS]
+
+
+def run_lint(paths: Optional[Sequence[Path]] = None,
+             checks: Optional[Iterable[LintCheck]] = None) -> List[Violation]:
+    """Lint ``paths`` (default: the repro package); returns violations.
+
+    Unparseable files produce a single ``FCC000 [syntax]`` violation
+    rather than aborting the run.
+    """
+    targets = [Path(p) for p in paths] if paths else [default_lint_root()]
+    active = list(checks) if checks is not None else all_checks()
+    found: List[Violation] = []
+    for file_path in iter_source_files(targets):
+        source = SourceFile(file_path)
+        try:
+            tree = source.parse()
+        except SyntaxError as exc:
+            found.append(Violation(
+                path=source.display, line=exc.lineno or 0,
+                col=exc.offset or 0, code="FCC000", rule="syntax",
+                message=f"could not parse: {exc.msg}"))
+            continue
+        for check in active:
+            if not check.applies_to(source):
+                continue
+            for violation in check.violations(source, tree):
+                if not source.suppressed(violation):
+                    found.append(violation)
+    found.sort()
+    return found
+
+
+def violations_to_json(violations: Sequence[Violation]) -> Dict[str, object]:
+    """Schema-stable JSON payload for ``repro check --lint --json``."""
+    return {
+        "schema": 1,
+        "tool": "fcc-check",
+        "count": len(violations),
+        "violations": [v.to_dict() for v in violations],
+    }

@@ -1,0 +1,138 @@
+"""Canonical sanitized experiment runs for ``repro check --sanitize``.
+
+Each runner builds a fresh ``Environment(sanitize=True)``, drives a
+representative slice of an experiment through it, closes with an
+explicit drain audit, and returns the sanitizer plus a small summary
+dict.  They double as the CI smoke for the sanitizer head: a clean
+tree must produce zero findings on every runner.
+
+* ``t2``      — the Table 2 memory-hierarchy latency walk (one host,
+  local + remote reads and writes through the full cache/fabric
+  stack).
+* ``credits`` — a contended :class:`~repro.pcie.credits.CreditDomain`
+  under the ramp-up policy with hot and bursty flows; conservation is
+  audited at every periodic rebalance.
+* ``arbiter`` — reservation traffic through the DP#4
+  :class:`~repro.core.arbiter.FabricArbiter`, so every control
+  message doubles as a conservation checkpoint.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+from .sanitizers import RuntimeSanitizer
+
+__all__ = ["SANITIZED_EXPERIMENTS", "run_sanitized"]
+
+
+def _run_t2() -> Tuple[RuntimeSanitizer, Dict[str, Any]]:
+    from ..infra import ClusterSpec, build_cluster
+    from ..sim import Environment
+
+    env = Environment(sanitize=True)
+    cluster = build_cluster(env, ClusterSpec(hosts=1))
+    host = cluster.host(0)
+    base = host.remote_base("fam0")
+    latencies: Dict[str, float] = {}
+
+    def measure():
+        cases = [("local_read", 0x40000, False),
+                 ("local_write", 0x80000, True),
+                 ("remote_read", base + 0x40000, False),
+                 ("remote_write", base + 0x80000, True)]
+        for label, addr, is_write in cases:
+            start = env.now
+            yield from host.mem.access(addr, is_write)
+            latencies[label] = env.now - start
+
+    proc = env.process(measure(), name="t2-measure")
+    env.run(until=10_000_000, until_event=proc)
+    sanitizer = env.sanitizer
+    sanitizer.on_drain()
+    return sanitizer, {"experiment": "t2", "latencies_ns": latencies,
+                       "events": env.stats["events_processed"]}
+
+
+def _run_credits() -> Tuple[RuntimeSanitizer, Dict[str, Any]]:
+    from ..pcie.credits import CreditDomain, RampUpPolicy
+    from ..sim import Environment
+
+    env = Environment(sanitize=True)
+    domain = CreditDomain(env, budget=32, policy=RampUpPolicy(),
+                          rebalance_ns=1_000.0, name="sanity-egress")
+    for flow in ("hot", "bursty", "quiet"):
+        domain.register(flow)
+    domain.start()
+    done = {"hot": 0, "bursty": 0, "quiet": 0}
+
+    def traffic(flow: str, hold_ns: float, gap_ns: float, count: int):
+        for _ in range(count):
+            yield domain.acquire(flow)
+            yield env.timeout(hold_ns)
+            domain.release(flow)
+            done[flow] += 1
+            if gap_ns:
+                yield env.timeout(gap_ns)
+
+    env.process(traffic("hot", 40.0, 0.0, 400), name="hot")
+    env.process(traffic("bursty", 60.0, 900.0, 40), name="bursty")
+    env.process(traffic("quiet", 50.0, 4_000.0, 10), name="quiet")
+    env.run(until=60_000.0)
+    domain.rebalance_now()
+    sanitizer = env.sanitizer
+    return sanitizer, {"experiment": "credits", "completed": dict(done),
+                       "grants": {f: domain.granted(f)
+                                  for f in domain.flow_names()},
+                       "events": env.stats["events_processed"]}
+
+
+def _run_arbiter() -> Tuple[RuntimeSanitizer, Dict[str, Any]]:
+    from ..core import UniFabric
+    from ..infra import ClusterSpec, build_cluster
+    from ..pcie.credits import CreditDomain
+    from ..sim import Environment, run_proc
+
+    env = Environment(sanitize=True)
+    cluster = build_cluster(env, ClusterSpec(hosts=1, control_lane=True))
+    uni = UniFabric(env, cluster, with_arbiter=True)
+    domain = CreditDomain(env, budget=24, name="egress0")
+    for flow in ("a", "b"):
+        domain.register(flow)
+    uni.arbiter.manage("egress0", domain)
+    client = uni.arbiter_client("host0")
+    replies = []
+
+    def control():
+        replies.append((yield from client.reserve("egress0", "a", 8)))
+        replies.append((yield from client.reserve("egress0", "b", 4)))
+        replies.append((yield from client.query("egress0")))
+        replies.append((yield from client.reclaim("egress0", "a")))
+
+    run_proc(env, control())
+    sanitizer = env.sanitizer
+    sanitizer.on_drain()
+    return sanitizer, {"experiment": "arbiter",
+                       "control_messages": uni.arbiter.control_messages,
+                       "grants": replies[2].get("grants", {}),
+                       "events": env.stats["events_processed"]}
+
+
+#: experiment name -> runner (the ``--sanitize`` choices)
+SANITIZED_EXPERIMENTS: Dict[str, Callable[
+    [], Tuple[RuntimeSanitizer, Dict[str, Any]]]] = {
+    "t2": _run_t2,
+    "credits": _run_credits,
+    "arbiter": _run_arbiter,
+}
+
+
+def run_sanitized(name: str) -> Tuple[RuntimeSanitizer, Dict[str, Any]]:
+    """Run one named experiment under the sanitizers."""
+    try:
+        runner = SANITIZED_EXPERIMENTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown sanitized experiment {name!r}; choose from "
+            f"{sorted(SANITIZED_EXPERIMENTS)}") from None
+    return runner()

@@ -7,13 +7,20 @@ Commands:
 * ``demo``    — a one-minute tour: build a rack, run a workload, print
   the latency contrast and the heap/migration stats;
 * ``perf``    — kernel microbenchmark + ``Environment.stats`` counters
-  (events processed, events/sec, peak queue depth, pool sizes).
+  (events processed, events/sec, peak queue depth, pool sizes);
+* ``check``   — fcc-check correctness tooling: ``--lint`` runs the
+  static determinism/lifecycle lint over the package (or given paths),
+  ``--sanitize <experiment>`` replays a canonical experiment under the
+  runtime sanitizers; ``--json`` for machine-readable output.  Exits
+  non-zero on any violation or finding.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from . import params
@@ -139,6 +146,46 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """fcc-check: static lint and/or sanitized experiment replay."""
+    # Deferred import: the analysis package is tooling, not something
+    # `repro info` users should pay to load.
+    from . import analysis
+
+    run_lint = args.lint or not args.sanitize   # default head is lint
+    status = 0
+    if run_lint:
+        paths = [Path(p) for p in args.paths] or None
+        violations = analysis.run_lint(paths)
+        if args.json:
+            print(json.dumps(analysis.violations_to_json(violations),
+                             indent=2))
+        elif violations:
+            for violation in violations:
+                print(violation.format())
+            print(f"lint: {len(violations)} violation(s)")
+        else:
+            print("lint: clean")
+        if violations:
+            status = 1
+    for name in args.sanitize:
+        from .analysis.runners import run_sanitized
+        try:
+            sanitizer, summary = run_sanitized(name)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            payload = sanitizer.to_json()
+            payload["summary"] = summary
+            print(json.dumps(payload, indent=2))
+        else:
+            print(f"sanitize[{name}]: {sanitizer.report()}")
+        if not sanitizer.clean:
+            status = 1
+    return status
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -153,9 +200,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                       help="concurrent ticking processes (default 200)")
     perf.add_argument("--steps", type=int, default=1000,
                       help="timeout steps per process (default 1000)")
+    check = sub.add_parser(
+        "check", help="fcc-check: static lint + runtime sanitizers")
+    check.add_argument("--lint", action="store_true",
+                       help="run the static lint (the default when no "
+                            "--sanitize is given)")
+    check.add_argument("--sanitize", action="append", default=[],
+                       metavar="EXPERIMENT",
+                       help="replay a canonical experiment under the "
+                            "runtime sanitizers (t2, credits, arbiter); "
+                            "repeatable")
+    check.add_argument("--json", action="store_true",
+                       help="machine-readable output (schema-stable)")
+    check.add_argument("paths", nargs="*",
+                       help="files/directories to lint (default: the "
+                            "repro package)")
     args = parser.parse_args(argv)
     handler = {"info": cmd_info, "table2": cmd_table2,
-               "demo": cmd_demo, "perf": cmd_perf}[args.command]
+               "demo": cmd_demo, "perf": cmd_perf,
+               "check": cmd_check}[args.command]
     return handler(args)
 
 

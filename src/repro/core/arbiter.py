@@ -62,6 +62,13 @@ class FabricArbiter:
         self._policies[key] = policy
         self._priorities[key] = {}
         self._next_priority[key] = 1
+        sanitizer = self.env.sanitizer
+        if sanitizer is not None:
+            # Sanitized runs audit the domain under its arbiter name:
+            # reserve/reclaim rebalance immediately, so every control
+            # message doubles as a conservation checkpoint.
+            sanitizer.register_credit_domain(
+                domain, label=f"{self.name}/{key}")
 
     def managed_domains(self):
         return sorted(self._domains)

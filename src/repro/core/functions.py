@@ -105,7 +105,7 @@ class FunctionChassis:
             function.mailbox = Store(env)
             self.functions[function.name] = function
             env.process(self._core(function),
-                        name=f"{name}.{function.name}")
+                        name=f"{name}.{function.name}", daemon=True)
         self.fea = FabricEndpointAdapter(env, port, self._from_fabric,
                                          concurrency=len(functions),
                                          name=f"{name}.fea")
@@ -233,7 +233,7 @@ class _CheckpointMixin:
             function.mailbox.put(message)
         self.functions[context.name] = function
         self.env.process(self._core(function),
-                         name=f"{self.name}.{context.name}")
+                         name=f"{self.name}.{context.name}", daemon=True)
         return function
 
 

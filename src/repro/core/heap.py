@@ -179,7 +179,7 @@ class AccessProfiler:
         self.epoch_ns = epoch_ns
         self.decay = decay
         self._temperature: Dict[int, float] = {}
-        env.process(self._decay_loop(), name="profiler.decay")
+        env.process(self._decay_loop(), name="profiler.decay", daemon=True)
 
     def record(self, oid: int, weight: float = 1.0) -> None:
         self._temperature[oid] = self._temperature.get(oid, 0.0) + weight
@@ -339,7 +339,7 @@ class HeapRuntime:
     def start(self) -> None:
         if not self._running:
             self._running = True
-            self.env.process(self._loop(), name="heap-runtime")
+            self.env.process(self._loop(), name="heap-runtime", daemon=True)
 
     def _loop(self) -> Generator[Event, None, None]:
         while True:

@@ -37,7 +37,7 @@ class MigrationAgent:
         self._queue = PriorityStore(env)
         self._seq = itertools.count()
         self.executed = 0
-        env.process(self._worker(), name=f"{name}.worker")
+        env.process(self._worker(), name=f"{name}.worker", daemon=True)
 
     def enqueue(self, trans: ETrans,
                 handle: Optional[ETransHandle]) -> None:
@@ -87,7 +87,7 @@ class MovementOrchestrator:
                                init=self.burst_bytes)
             self._buckets[host.name] = bucket
             self.env.process(self._refill(bucket),
-                             name=f"{host.name}.bw-refill")
+                             name=f"{host.name}.bw-refill", daemon=True)
         return engine
 
     def engine(self, host_name: str) -> ElasticTransactionEngine:

@@ -88,9 +88,10 @@ class LinkLayer:
             self._control_phys = PhysicalLayer(env, ctrl_bw,
                                                name=f"{name}.ctrl")
             self._control_queue: Store = Store(env)
-            env.process(self._control_sender(), name=f"{name}.ctrl-tx")
+            env.process(self._control_sender(), name=f"{name}.ctrl-tx",
+                        daemon=True)
         for vc in range(vcs):
-            env.process(self._sender(vc), name=f"{name}.tx{vc}")
+            env.process(self._sender(vc), name=f"{name}.tx{vc}", daemon=True)
 
     # -- sending ----------------------------------------------------------
 

@@ -70,7 +70,7 @@ class TransactionPort:
         self.requests_sent = 0
         self.responses_received = 0
         self.orphan_responses = 0
-        env.process(self._receiver(), name=f"{name}.rx")
+        env.process(self._receiver(), name=f"{name}.rx", daemon=True)
 
     # -- sending -----------------------------------------------------------
 
@@ -125,7 +125,8 @@ class TransactionPort:
             raise ValueError(f"concurrency must be >= 1, got {concurrency}")
         self._handler = handler
         for i in range(concurrency):
-            self.env.process(self._server(), name=f"{self.name}.server{i}")
+            self.env.process(self._server(), name=f"{self.name}.server{i}",
+                             daemon=True)
 
     def _server(self) -> Generator[Event, None, None]:
         while True:

@@ -149,6 +149,17 @@ class CreditDomain:
         self._order: List[str] = []
         self._consumed: Dict[str, int] = {}
         self._running = False
+        # Conservation accounting, live only under Environment(
+        # sanitize=True): per flow, credits held by flits in flight,
+        # credits owed to lazy retirement after a shrink, and acquire
+        # events not yet granted (reconciled at audit time, since a
+        # blocked get leaves the pool the instant a put serves it).
+        self._san = env.sanitizer
+        self._in_flight: Dict[str, int] = {}
+        self._retire_debt: Dict[str, int] = {}
+        self._pending_gets: Dict[str, List[Event]] = {}
+        if self._san is not None:
+            self._san.register_credit_domain(self)
 
     # -- flow registry -----------------------------------------------------
 
@@ -159,6 +170,9 @@ class CreditDomain:
                                       init=0)
         self._granted[flow] = 0
         self._consumed[flow] = 0
+        self._in_flight[flow] = 0
+        self._retire_debt[flow] = 0
+        self._pending_gets[flow] = []
         self._order.append(flow)
         self._apply_targets(self.policy.targets(self))
 
@@ -179,12 +193,32 @@ class CreditDomain:
     def acquire(self, flow: str) -> Event:
         """Take one credit for ``flow`` (blocks while its pool is dry)."""
         self._consumed[flow] += 1
-        return self._pools[flow].get(1)
+        event = self._pools[flow].get(1)
+        if self._san is not None:
+            if event.triggered:
+                self._in_flight[flow] += 1
+            else:
+                self._pending_gets[flow].append(event)
+        return event
 
     def release(self, flow: str) -> None:
         """Return one credit (flit left the egress stage)."""
         target = self._granted[flow]
         pool = self._pools[flow]
+        if self._san is not None:
+            self._reconcile(flow)
+            self._in_flight[flow] -= 1
+            if self._in_flight[flow] < 0:
+                self._san.note(
+                    "credit-negative",
+                    f"credit domain {self.name!r}: flow {flow!r} "
+                    "released a credit it never acquired (double "
+                    "release or conjured credit)")
+            elif pool.level >= target:
+                # A retiring release (grant shrank while this credit
+                # was out): settle one unit of the lazy-shrink debt.
+                if self._retire_debt[flow] > 0:
+                    self._retire_debt[flow] -= 1
         # If the flow's grant shrank since this credit was taken, the
         # returned credit is retired instead of refilled.
         if pool.level < target:
@@ -196,13 +230,16 @@ class CreditDomain:
         """Begin periodic rebalancing (idempotent)."""
         if not self._running:
             self._running = True
-            self.env.process(self._rebalancer(), name=f"{self.name}.rebal")
+            self.env.process(self._rebalancer(), name=f"{self.name}.rebal",
+                             daemon=True)
 
     def rebalance_now(self) -> None:
         """Apply policy targets immediately (the arbiter path)."""
         self._apply_targets(self.policy.targets(self))
         for flow in self._consumed:
             self._consumed[flow] = 0
+        if self._san is not None:
+            self._san.check_credit_domain(self)
 
     def _rebalancer(self) -> Generator[Event, None, None]:
         while True:
@@ -224,4 +261,57 @@ class CreditDomain:
                 drain = min(self._pools[flow].level, current - target)
                 if drain > 0:
                     self._pools[flow].get(drain)
+                if self._san is not None:
+                    # Whatever could not be drained is owed by credits
+                    # currently in flight; they retire on release.
+                    self._retire_debt[flow] += \
+                        int(current - target - drain)
             self._granted[flow] = target
+
+    # -- conservation audit (sanitize=True) ---------------------------------
+
+    def _reconcile(self, flow: str) -> None:
+        """Move granted-while-blocked acquires into the in-flight count.
+
+        A blocked ``get`` leaves the pool inside whatever put served
+        it, so its credit is counted the moment the event shows
+        triggered — exactly when the pool level dropped.
+        """
+        pending = self._pending_gets[flow]
+        if pending:
+            still_blocked = [e for e in pending if not e.triggered]
+            self._in_flight[flow] += len(pending) - len(still_blocked)
+            pending[:] = still_blocked
+
+    def conservation_problems(self) -> List[str]:
+        """Audit ``available + in_flight == granted + retire_debt``.
+
+        Returns one human-readable problem per violating flow; empty
+        when the domain conserves credits.  Only meaningful under
+        ``Environment(sanitize=True)`` (the accounting is idle
+        otherwise).
+        """
+        problems: List[str] = []
+        if self._san is None:
+            return problems
+        for flow in self._order:
+            self._reconcile(flow)
+            available = int(self._pools[flow].level)
+            in_flight = self._in_flight[flow]
+            granted = self._granted[flow]
+            debt = self._retire_debt[flow]
+            if in_flight < 0:
+                problems.append(
+                    f"flow {flow!r} has negative in-flight credits "
+                    f"({in_flight}): more releases than acquires")
+                continue
+            if available + in_flight != granted + debt:
+                direction = ("leaked" if available + in_flight
+                             < granted + debt else "conjured")
+                problems.append(
+                    f"flow {flow!r} {direction} "
+                    f"{abs(granted + debt - available - in_flight)} "
+                    f"credit(s): available={available} + "
+                    f"in_flight={in_flight} != granted={granted} + "
+                    f"retire_debt={debt}")
+        return problems

@@ -101,8 +101,10 @@ class FabricSwitch:
                                      capacity=self.scheduler_capacity),
             peer=peer)
         self.ports[index] = port
-        self.env.process(self._ingress(port), name=f"{self.name}.in{index}")
-        self.env.process(self._egress(port), name=f"{self.name}.out{index}")
+        self.env.process(self._ingress(port), name=f"{self.name}.in{index}",
+                         daemon=True)
+        self.env.process(self._egress(port), name=f"{self.name}.out{index}",
+                         daemon=True)
         return port
 
     def add_credit_domain(self, egress_index: int,

@@ -50,7 +50,9 @@ from __future__ import annotations
 
 from heapq import heappop, heappush
 from sys import getrefcount
-from time import perf_counter
+# Wall-clock is only read for Environment.stats busy-time counters; it
+# never feeds back into scheduling.
+from time import perf_counter   # fcc: allow[wall-clock]
 from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -131,6 +133,9 @@ class Event:
         self._ok = True
         self._scheduled = False
         self._processed = False
+        san = env._sanitizer
+        if san is not None:
+            san.on_created(self)
 
     @property
     def triggered(self) -> bool:
@@ -226,11 +231,12 @@ class Process(Event):
     with the event's value (or the event's exception is thrown in).
     """
 
-    __slots__ = ("_generator", "_target", "name", "_resume_cb", "_cb_index")
+    __slots__ = ("_generator", "_target", "name", "daemon", "_resume_cb",
+                 "_cb_index")
 
     def __init__(self, env: "Environment",
                  generator: Generator[Event, Any, Any],
-                 name: str = "") -> None:
+                 name: str = "", daemon: bool = False) -> None:
         if not hasattr(generator, "throw"):
             raise TypeError(f"{generator!r} is not a generator")
         super().__init__(env)
@@ -241,6 +247,11 @@ class Process(Event):
         self._resume_cb = self._resume
         self._cb_index = -1
         self.name = name or getattr(generator, "__name__", "process")
+        #: Daemon processes are perpetual service loops (port receivers,
+        #: link senders, rebalance timers).  Idling forever is their
+        #: normal end state, so the sanitizer's drain-time deadlock
+        #: report skips them.
+        self.daemon = daemon
         env._schedule_hook(self._resume_cb, URGENT, True, None)
 
     @property
@@ -360,8 +371,10 @@ class Process(Event):
         if next_event.env is not self.env:
             raise SimulationError("event belongs to a different environment")
         cbs = next_event.callbacks
-        if cbs is None:
-            # Already processed: resume immediately with its stored value.
+        if cbs is None or next_event._processed:
+            # Already processed (in sanitized runs dead events carry a
+            # callback guard instead of None): resume immediately with
+            # the stored value.
             self._target = self.env._schedule_hook(
                 self._resume_cb, URGENT, next_event._ok, next_event._value)
         else:
@@ -393,7 +406,9 @@ class _Condition(Event):
         self._check_cb = self._check
         failed = None
         for event in self.events:
-            if event.callbacks is None:  # already processed
+            if event.callbacks is None or event._processed:
+                # Already processed (sanitized runs guard dead events'
+                # callback slot instead of clearing it to None).
                 if not event._ok and failed is None:
                     failed = event._value
                 self._fired += 1
@@ -420,7 +435,8 @@ class _Condition(Event):
             self.succeed(self._collect())
 
     def _collect(self) -> dict:
-        return {e: e._value for e in self.events if e.callbacks is None}
+        return {e: e._value for e in self.events
+                if e.callbacks is None or e._processed}
 
     def _satisfied(self) -> bool:
         raise NotImplementedError
@@ -465,9 +481,10 @@ class Environment:
                  "_active_process", "_timeout_pool", "_hook_pool",
                  "_last_time", "_last_bucket",
                  "_pending", "_events_processed", "_peak_queue",
-                 "_busy_seconds")
+                 "_busy_seconds", "_sanitizer")
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(self, initial_time: float = 0.0, *,
+                 sanitize: bool = False) -> None:
         self._now = float(initial_time)
         self._times: List[float] = []
         self._buckets: Dict[float, tuple] = {}
@@ -483,6 +500,15 @@ class Environment:
         self._events_processed = 0
         self._peak_queue = 0
         self._busy_seconds = 0.0
+        # Opt-in runtime sanitizers (credit conservation, event
+        # lifecycle, write races, drain deadlocks).  `None` keeps every
+        # hot-path hook to a single is-None test; see
+        # repro.analysis.sanitizers for what `True` buys and costs.
+        if sanitize:
+            from ..analysis.sanitizers import RuntimeSanitizer
+            self._sanitizer = RuntimeSanitizer(self)
+        else:
+            self._sanitizer = None
 
     @property
     def now(self) -> float:
@@ -491,6 +517,16 @@ class Environment:
     @property
     def active_process(self) -> Optional[Process]:
         return self._active_process
+
+    @property
+    def sanitize(self) -> bool:
+        """Whether runtime sanitizers are attached (see ``sanitizer``)."""
+        return self._sanitizer is not None
+
+    @property
+    def sanitizer(self):
+        """The attached RuntimeSanitizer, or None on the fast path."""
+        return self._sanitizer
 
     @property
     def stats(self) -> Dict[str, Any]:
@@ -566,6 +602,10 @@ class Environment:
         """A :class:`Timeout` from the free list (allocates only when empty)."""
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
+        if self._sanitizer is not None:
+            # Sanitized path: full construction so the sanitizer sees
+            # the event's whole lifecycle (recycling is disabled too).
+            return Timeout(self, delay, value)
         pool = self._timeout_pool
         if pool:
             timeout = pool.pop()
@@ -598,8 +638,8 @@ class Environment:
         return timeout
 
     def process(self, generator: Generator[Event, Any, Any],
-                name: str = "") -> Process:
-        return Process(self, generator, name=name)
+                name: str = "", daemon: bool = False) -> Process:
+        return Process(self, generator, name=name, daemon=daemon)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
@@ -667,6 +707,8 @@ class Environment:
                 callback(event)
                 fired = True
         event._processed = True
+        if self._sanitizer is not None:
+            self._sanitizer.on_processed(event)
         self._events_processed += 1
         global _total_events
         _total_events += 1
@@ -697,6 +739,7 @@ class Environment:
         refcount = getrefcount
         pool_limit = _POOL_LIMIT
         pending_sentinel = _PENDING
+        san = self._sanitizer
         check_event = until_event is not None
         processed = 0
         done = False
@@ -768,6 +811,13 @@ class Environment:
                             # A failed event nobody waited for: surface
                             # the error.
                             raise event._value
+                        if san is not None:
+                            # Sanitized runs trade recycling for full
+                            # lifecycle tracking (and dead-event
+                            # callback guards); scheduling order is
+                            # unaffected.
+                            san.on_processed(event)
+                            continue
                         # Recycle the event if the kernel holds the last
                         # references (the bucket slot, local `event`,
                         # and getrefcount's argument).
@@ -804,6 +854,10 @@ class Environment:
             self._pending -= processed
             global _total_events
             _total_events += processed
+        if san is not None and not times:
+            # The queue drained: report blocked processes (deadlocks),
+            # never-triggered events, and credit-conservation drift.
+            san.on_drain()
         if until_event is not None:
             if until_event._value is not _PENDING:
                 if not until_event._ok:

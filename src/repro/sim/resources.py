@@ -92,6 +92,9 @@ class Resource:
         except ValueError:
             self._cancel(request)
             return
+        san = self.env._sanitizer
+        if san is not None:
+            san.on_write(self, "release")
         self._trigger()
 
     # -- internals -------------------------------------------------------
@@ -148,22 +151,24 @@ class PriorityResource(Resource):
 
 
 class StorePut(Event):
-    __slots__ = ("item",)
+    __slots__ = ("item", "store")
 
     def __init__(self, store: "Store", item: Any) -> None:
         super().__init__(store.env)
         self.item = item
+        self.store = store
         store._put_waiters.append(self)
         store._trigger()
 
 
 class StoreGet(Event):
-    __slots__ = ("filter",)
+    __slots__ = ("filter", "store")
 
     def __init__(self, store: "Store",
                  filter: Optional[Callable[[Any], bool]] = None) -> None:
         super().__init__(store.env)
         self.filter = filter
+        self.store = store
         store._get_waiters.append(self)
         store._trigger()
 
@@ -201,6 +206,9 @@ class Store:
     def _do_put(self, event: StorePut) -> bool:
         if len(self.items) < self.capacity:
             self._insert(event.item)
+            san = self.env._sanitizer
+            if san is not None:
+                san.on_write(self, "put")
             event.succeed()
             return True
         return False
@@ -274,25 +282,27 @@ class PriorityStore(Store):
 
 
 class ContainerPut(Event):
-    __slots__ = ("amount",)
+    __slots__ = ("amount", "container")
 
     def __init__(self, container: "Container", amount: float) -> None:
         if amount <= 0:
             raise ValueError(f"amount must be > 0, got {amount}")
         super().__init__(container.env)
         self.amount = amount
+        self.container = container
         container._put_waiters.append(self)
         container._trigger()
 
 
 class ContainerGet(Event):
-    __slots__ = ("amount",)
+    __slots__ = ("amount", "container")
 
     def __init__(self, container: "Container", amount: float) -> None:
         if amount <= 0:
             raise ValueError(f"amount must be > 0, got {amount}")
         super().__init__(container.env)
         self.amount = amount
+        self.container = container
         container._get_waiters.append(self)
         container._trigger()
 

@@ -20,6 +20,8 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
+from ..sim.rng import SimRng
+
 __all__ = ["MimoConfig", "MimoChannel", "UplinkPipeline",
            "DownlinkPipeline", "downlink_received_bits",
            "DOWNLINK_KERNEL_ORDER",
@@ -117,7 +119,11 @@ class MimoChannel:
 
     def __init__(self, config: MimoConfig) -> None:
         self.config = config
-        rng = np.random.default_rng(config.seed)
+        # Seeded through the repro.sim.rng stream (fcc-check FCC001).
+        # SimRng(s).numpy_generator() == np.random.default_rng(s), so
+        # channel realizations are bit-identical to the pre-migration
+        # ones and every pinned expectation stays valid.
+        rng = SimRng(config.seed).numpy_generator()
         shape = (config.subcarriers, config.antennas, config.users)
         self.h = (rng.standard_normal(shape)
                   + 1j * rng.standard_normal(shape)) / np.sqrt(2)
@@ -149,7 +155,7 @@ class UplinkPipeline:
         self.config = config
         # Time-orthogonal pilots: pilot symbol k carries only user k,
         # with a known per-subcarrier QPSK value.
-        rng = np.random.default_rng(config.seed + 1)
+        rng = SimRng(config.seed + 1).numpy_generator()
         pilot_bits = rng.integers(
             0, 2, size=(2 * config.users * config.subcarriers))
         self.pilot = qpsk_modulate(pilot_bits.astype(np.int8)).reshape(
@@ -338,7 +344,7 @@ def downlink_received_bits(config: MimoConfig,
     # y[s, u, t] = sum_a H[s, a, u] * x[s, a, t]  (reciprocity: H^T)
     received = np.einsum("sau,sat->sut", channel.h, freq)
     if snr_db is not None:
-        rng = np.random.default_rng(config.seed + 7)
+        rng = SimRng(config.seed + 7).numpy_generator()
         noise_power = 10 ** (-snr_db / 10)
         received = received + np.sqrt(noise_power / 2) * (
             rng.standard_normal(received.shape)

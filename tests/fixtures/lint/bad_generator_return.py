@@ -1,0 +1,12 @@
+"""FCC003 fixture: a process generator that returns before yielding.
+
+``env.process(broken())`` would finish instantly without ever blocking
+— almost always a missing ``yield``.
+"""
+
+__all__ = ["broken"]
+
+
+def broken(env):
+    return 42                  # FCC003: unconditional return before any yield
+    yield env.timeout(1.0)

@@ -1,0 +1,10 @@
+"""FCC004 fixture: mutable default argument and module-level state."""
+
+registry = {}                  # FCC004: module-level mutable state
+
+__all__ = ["append_to"]
+
+
+def append_to(item, bucket=[]):    # FCC004: mutable default
+    bucket.append(item)
+    return bucket

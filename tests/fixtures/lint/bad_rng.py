@@ -1,0 +1,11 @@
+"""FCC001 fixture: unseeded global randomness."""
+
+import random                     # FCC001: the global stream
+import numpy.random               # FCC001: numpy module state
+from random import shuffle       # FCC001: from-import
+
+__all__ = ["jitter", "shuffle"]
+
+
+def jitter():
+    return random.random() + numpy.random.rand()

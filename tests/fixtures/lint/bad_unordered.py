@@ -1,0 +1,10 @@
+"""FCC005 fixture: iteration over an unordered set."""
+
+__all__ = ["drain"]
+
+
+def drain(pending):
+    out = []
+    for name in set(pending):      # FCC005: set iteration order
+        out.append(name)
+    return out

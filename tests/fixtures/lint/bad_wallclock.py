@@ -1,0 +1,11 @@
+"""FCC002 fixture: wall-clock reads outside benchmarks/."""
+
+import time
+from datetime import datetime
+
+__all__ = ["stamp"]
+
+
+def stamp():
+    started = time.perf_counter()         # FCC002
+    return started, datetime.now()        # FCC002

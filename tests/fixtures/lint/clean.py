@@ -1,0 +1,25 @@
+"""Clean fixture: none of the FCC rules fire here."""
+
+from typing import List, Optional
+
+CONSTANT_TABLE = {"a": 1}      # constant by convention: not flagged
+
+__all__ = ["sample", "drain"]
+
+
+def sample(rng, n: int) -> List[float]:
+    return [rng.random() for _ in range(n)]
+
+
+def drain(pending, out: Optional[List[str]] = None) -> List[str]:
+    out = [] if out is None else out
+    for name in sorted(set(pending)):
+        out.append(name)
+    return out
+
+
+def proc(env):
+    if env is None:
+        return None            # bare early exit: allowed
+    yield env.timeout(1.0)
+    return 42
