@@ -175,6 +175,37 @@ def main(argv: Optional[List[str]] = None) -> int:
     check("a1_prefetch_beats_naive",
           results["prefetch"] < results["naive-sync"])
 
+    # -- telemetry: off-path overhead ------------------------------------
+    # The same instrumented scenario, telemetry absent vs. attached.
+    # The off path must stay within benchmark noise of the fast path
+    # (every hook is one is-None branch); the on path is reported for
+    # the trend, not asserted — it pays for real event recording.
+    from repro.telemetry.scenarios import run_scenario
+    t_rounds = 2 if args.smoke else 5
+    scenario = "interleave"
+    off_best = on_best = None
+    off_events = on_events = 0
+    for _ in range(t_rounds):
+        _, wall_off, ev_off = _timed(
+            lambda: run_scenario(scenario, telemetry=False))
+        _, wall_on, ev_on = _timed(
+            lambda: run_scenario(scenario, telemetry=True))
+        if off_best is None or wall_off < off_best:
+            off_best, off_events = wall_off, ev_off
+        if on_best is None or wall_on < on_best:
+            on_best, on_events = wall_on, ev_on
+    on_ratio = on_best / off_best if off_best > 0 else 0.0
+    record("telemetry_overhead", off_best, off_events, {
+        "scenario": scenario,
+        "best_of": t_rounds,
+        "off_wall_s": round(off_best, 4),
+        "on_wall_s": round(on_best, 4),
+        "on_vs_off": round(on_ratio, 3),
+        "model_events_off": off_events,
+        "model_events_on": on_events,
+    })
+    check("telemetry_off_within_noise_of_fast_path", on_ratio < 3.0)
+
     # -- report ----------------------------------------------------------
     payload = {
         "schema": 1,

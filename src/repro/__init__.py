@@ -49,6 +49,7 @@ from .infra import (
 )
 from .mem import NodeKind
 from .sim import Environment, SimRng, StatSeries, Tracer
+from .telemetry import MetricRegistry, Telemetry, TimelineSampler, span
 
 __version__ = "1.0.0"
 
@@ -81,5 +82,9 @@ __all__ = [
     "SimRng",
     "StatSeries",
     "Tracer",
+    "MetricRegistry",
+    "Telemetry",
+    "TimelineSampler",
+    "span",
     "__version__",
 ]

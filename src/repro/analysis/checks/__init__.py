@@ -16,6 +16,10 @@ code          slug                flags
                                   module-level mutable containers
 ``FCC005``    ``unordered-iter``  iteration over unordered ``set``
                                   values feeding deterministic code
+``FCC006``    ``eager-format``    f-string / ``%`` / ``.format``
+                                  arguments built per-event inside
+                                  ``record``/``span``/``instant``/
+                                  ``inc``/``observe`` telemetry calls
 ============  ==================  ==================================
 
 To add a rule: subclass :class:`repro.analysis.lint.LintCheck` in a
@@ -25,6 +29,7 @@ append the class to :data:`CHECKS`.  Fixture-test it in
 ``tests/fixtures/lint/clean.py`` clean).
 """
 
+from .eager_format import EagerFormatCheck
 from .generator_return import GeneratorReturnCheck
 from .mutable_state import MutableStateCheck
 from .rng_use import SeededRngCheck
@@ -38,8 +43,9 @@ CHECKS = [
     GeneratorReturnCheck,
     MutableStateCheck,
     UnorderedIterCheck,
+    EagerFormatCheck,
 ]
 
 __all__ = ["CHECKS", "SeededRngCheck", "WallClockCheck",
            "GeneratorReturnCheck", "MutableStateCheck",
-           "UnorderedIterCheck"]
+           "UnorderedIterCheck", "EagerFormatCheck"]

@@ -12,7 +12,10 @@ Commands:
   static determinism/lifecycle lint over the package (or given paths),
   ``--sanitize <experiment>`` replays a canonical experiment under the
   runtime sanitizers; ``--json`` for machine-readable output.  Exits
-  non-zero on any violation or finding.
+  non-zero on any violation or finding;
+* ``trace``   — run a canonical telemetry scenario and export the
+  Chrome trace-event JSON (load it at https://ui.perfetto.dev);
+* ``metrics`` — run a scenario and print its metric registry snapshot.
 """
 
 from __future__ import annotations
@@ -146,6 +149,55 @@ def cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_scenario_checked(args: argparse.Namespace):
+    # Deferred import: scenario running pulls in the whole fabric
+    # stack, which `repro info` users should not pay for.
+    from .telemetry.scenarios import run_scenario
+    try:
+        return run_scenario(args.scenario, interval_ns=args.interval)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run a scenario with telemetry on and export the Perfetto trace."""
+    result = _run_scenario_checked(args)
+    if result is None:
+        return 2
+    from .telemetry import validate_chrome_trace
+    payload = result.chrome_trace()
+    count = validate_chrome_trace(payload)
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w") as handle:
+        json.dump(payload, handle)
+    print(f"trace[{result.name}]: {count} events -> {out}")
+    print(f"summary: {json.dumps(result.summary)}")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Run a scenario with telemetry on and print the metric snapshot."""
+    result = _run_scenario_checked(args)
+    if result is None:
+        return 2
+    snapshot = result.metrics_snapshot()
+    if args.json:
+        print(json.dumps(snapshot, indent=2))
+        return 0
+    print(f"metrics[{result.name}]: {snapshot['count']} series")
+    metrics = snapshot["metrics"]
+    print(f"{'metric':<44} {'kind':<10} {'value':>14}")
+    for name in sorted(metrics):
+        entry = metrics[name]
+        value = entry.get("value", entry.get("mean"))
+        shown = f"{value:,.1f}" if isinstance(value, float) else str(value)
+        print(f"{name:<44} {entry['kind']:<10} {shown:>14}")
+    print(f"summary: {json.dumps(result.summary)}")
+    return 0
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     """fcc-check: static lint and/or sanitized experiment replay."""
     # Deferred import: the analysis package is tooling, not something
@@ -215,10 +267,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     check.add_argument("paths", nargs="*",
                        help="files/directories to lint (default: the "
                             "repro package)")
+    scenario_help = ("canonical scenario: t2 (hierarchy walk), "
+                     "starvation (§3 CFC quiet-flow stall), "
+                     "interleave (64B reads vs 16KB writes)")
+    trace = sub.add_parser(
+        "trace", help="run a scenario, export a Perfetto-loadable "
+                      "Chrome trace-event file")
+    trace.add_argument("scenario", help=scenario_help)
+    trace.add_argument("--out", default="trace.json",
+                       help="output file (default trace.json)")
+    trace.add_argument("--interval", type=float, default=1_000.0,
+                       help="TimelineSampler cadence in sim ns "
+                            "(default 1000)")
+    metrics = sub.add_parser(
+        "metrics", help="run a scenario, print its metric registry")
+    metrics.add_argument("scenario", help=scenario_help)
+    metrics.add_argument("--interval", type=float, default=1_000.0,
+                         help="TimelineSampler cadence in sim ns "
+                              "(default 1000)")
+    metrics.add_argument("--json", action="store_true",
+                         help="machine-readable snapshot "
+                              "(schema-stable)")
     args = parser.parse_args(argv)
     handler = {"info": cmd_info, "table2": cmd_table2,
                "demo": cmd_demo, "perf": cmd_perf,
-               "check": cmd_check}[args.command]
+               "check": cmd_check, "trace": cmd_trace,
+               "metrics": cmd_metrics}[args.command]
     return handler(args)
 
 

@@ -26,6 +26,7 @@ from ..fabric.flit import Channel, Packet, PacketKind
 from ..fabric.transaction import TransactionPort
 from ..pcie.credits import CreditDomain, ReservationPolicy
 from ..sim import Environment, Event
+from ..telemetry import span
 
 __all__ = ["FabricArbiter", "ArbiterClient", "ArbiterError"]
 
@@ -77,18 +78,20 @@ class FabricArbiter:
 
     def _handle(self, request: Packet
                 ) -> Generator[Event, None, Optional[Packet]]:
-        yield self.env.timeout(5.0)  # arbiter decision logic
-        self.control_messages += 1
-        response = request.make_response()
-        if request.kind is not PacketKind.CTRL_REQ:
-            response.meta["error"] = "not a control request"
+        with span(self.env, "arbiter.handle", track=self.name,
+                  op=request.meta.get("op")):
+            yield self.env.timeout(5.0)  # arbiter decision logic
+            self.control_messages += 1
+            response = request.make_response()
+            if request.kind is not PacketKind.CTRL_REQ:
+                response.meta["error"] = "not a control request"
+                return response
+            op = request.meta.get("op")
+            try:
+                response.meta.update(self._dispatch(op, request.meta))
+            except (ArbiterError, KeyError) as exc:
+                response.meta["error"] = str(exc)
             return response
-        op = request.meta.get("op")
-        try:
-            response.meta.update(self._dispatch(op, request.meta))
-        except (ArbiterError, KeyError) as exc:
-            response.meta["error"] = str(exc)
-        return response
 
     def _dispatch(self, op: Optional[str], meta: dict) -> dict:
         if op == "query":

@@ -29,6 +29,7 @@ from typing import Dict, Generator, List, Optional, Tuple
 
 from .. import params
 from ..sim import Environment, Event, Resource
+from ..telemetry import span
 from .etrans import ETrans
 
 __all__ = ["FreeList", "MemoryBin", "HeapObject", "SmartPointer",
@@ -215,6 +216,15 @@ class UnifiedHeap:
         self._locks: Dict[int, Resource] = {}
         self.allocations = 0
         self.failed_allocations = 0
+        # Telemetry: per-bin placement mix is probed by the sampler;
+        # access/migration counts update on the data path behind one
+        # is-None branch.
+        self._tel = tel = env.telemetry
+        if tel is not None:
+            registry = tel.registry
+            self._m_allocations = registry.counter("heap.allocations")
+            self._m_accesses = registry.counter("heap.accesses")
+            self._m_migrations = registry.counter("heap.migrations")
 
     # -- bins -----------------------------------------------------------------
 
@@ -226,6 +236,12 @@ class UnifiedHeap:
                                freelist=FreeList(start, size),
                                is_remote=is_remote)
         self.bins[name] = memory_bin
+        if self._tel is not None:
+            # The placement mix: bytes resident per bin over time.
+            self._tel.add_probe(f"heap.bin.{name}.allocated_bytes",
+                                lambda b=memory_bin:
+                                b.freelist.allocated_bytes,
+                                track="heap")
         return memory_bin
 
     def bins_by_preference(self, prefer_tier: Optional[str]) -> List[MemoryBin]:
@@ -251,6 +267,8 @@ class UnifiedHeap:
                                             pinned=pinned)
             self._locks[oid] = Resource(self.env)
             self.allocations += 1
+            if self._tel is not None:
+                self._m_allocations.inc(time=self.env.now)
             return SmartPointer(self, oid)
         self.failed_allocations += 1
         raise HeapError(f"no bin can hold {size} bytes")
@@ -283,6 +301,8 @@ class UnifiedHeap:
             raise HeapError(
                 f"access [{offset}, {offset + nbytes}) outside object "
                 f"of {obj.size} bytes")
+        if self._tel is not None:
+            self._m_accesses.inc(time=self.env.now)
         with self._locks[oid].request() as grant:
             yield grant
             self.profiler.record(oid)
@@ -301,18 +321,22 @@ class UnifiedHeap:
             new_addr = target_bin.freelist.allocate(obj.size)
         except HeapError:
             return False
-        with self._locks[oid].request() as grant:
-            yield grant
-            trans = ETrans(src_list=[(obj.addr, obj.size)],
-                           dst_list=[(new_addr, obj.size)],
-                           immediate=True, ownership="caller",
-                           attributes={"reason": "heap-migration"})
-            handle = self.engine.submit(trans)
-            yield handle.wait()
-            obj.bin.freelist.free(obj.addr, obj.size)
-            obj.bin = target_bin
-            obj.addr = new_addr
-            obj.migrations += 1
+        with span(self.env, "heap.migrate", track="heap", oid=oid,
+                  nbytes=obj.size, dst=target_bin.name):
+            with self._locks[oid].request() as grant:
+                yield grant
+                trans = ETrans(src_list=[(obj.addr, obj.size)],
+                               dst_list=[(new_addr, obj.size)],
+                               immediate=True, ownership="caller",
+                               attributes={"reason": "heap-migration"})
+                handle = self.engine.submit(trans)
+                yield handle.wait()
+                obj.bin.freelist.free(obj.addr, obj.size)
+                obj.bin = target_bin
+                obj.addr = new_addr
+                obj.migrations += 1
+            if self._tel is not None:
+                self._m_migrations.inc(time=self.env.now)
         return True
 
 
@@ -348,19 +372,20 @@ class HeapRuntime:
 
     def rebalance_once(self) -> Generator[Event, None, None]:
         """One promote/demote pass."""
-        local = self.heap.bins[self.local_bin_name]
-        temperature = self.heap.profiler.temperature
-        hot_remote = sorted(
-            (obj for obj in self.heap.live_objects()
-             if obj.bin is not local and not obj.pinned
-             and temperature(obj.oid) >= self.promote_threshold),
-            key=lambda o: -temperature(o.oid))
-        for obj in hot_remote:
-            if local.freelist.largest_free_block() < obj.size:
-                yield from self._make_room(local, obj.size)
-            moved = yield from self.heap.migrate(obj.oid, local)
-            if moved:
-                self.promotions += 1
+        with span(self.env, "heap.rebalance", track="heap"):
+            local = self.heap.bins[self.local_bin_name]
+            temperature = self.heap.profiler.temperature
+            hot_remote = sorted(
+                (obj for obj in self.heap.live_objects()
+                 if obj.bin is not local and not obj.pinned
+                 and temperature(obj.oid) >= self.promote_threshold),
+                key=lambda o: -temperature(o.oid))
+            for obj in hot_remote:
+                if local.freelist.largest_free_block() < obj.size:
+                    yield from self._make_room(local, obj.size)
+                moved = yield from self.heap.migrate(obj.oid, local)
+                if moved:
+                    self.promotions += 1
 
     def _make_room(self, local: MemoryBin,
                    needed: int) -> Generator[Event, None, None]:

@@ -21,6 +21,7 @@ from typing import Dict, Generator, Optional, Tuple
 
 from .. import params
 from ..sim import Container, Environment, Event, PriorityStore
+from ..telemetry import span
 from .etrans import ETrans, ETransHandle, ElasticTransactionEngine, _finish
 
 __all__ = ["MovementOrchestrator", "MigrationAgent", "SequentialPrefetcher"]
@@ -49,7 +50,9 @@ class MigrationAgent:
     def _worker(self) -> Generator[Event, None, None]:
         while True:
             _, _, trans, handle = yield self._queue.get()
-            yield from self.engine.execute(trans)
+            with span(self.env, "movement.execute", track=self.name,
+                      prio=trans.priority, nbytes=trans.total_src_bytes):
+                yield from self.engine.execute(trans)
             self.executed += 1
             _finish(trans, handle)
 
@@ -69,6 +72,9 @@ class MovementOrchestrator:
         # (src region name, dst region name) -> bytes moved
         self.traffic_matrix: Dict[Tuple[str, str], int] = {}
         self.bytes_moved = 0
+        self._tel = tel = env.telemetry
+        if tel is not None:
+            self._m_bytes_moved = tel.registry.counter("movement.bytes_moved")
 
     # -- registration ------------------------------------------------------
 
@@ -80,8 +86,12 @@ class MovementOrchestrator:
         engine = ElasticTransactionEngine(self.env, host, self,
                                           chunk_bytes=chunk_bytes)
         self._engines[host.name] = engine
-        self._agents[host.name] = MigrationAgent(
+        agent = MigrationAgent(
             self.env, engine, name=f"{host.name}.agent")
+        self._agents[host.name] = agent
+        if self._tel is not None:
+            self._tel.add_probe(f"movement.{host.name}.agent_backlog",
+                                agent.backlog, track="movement")
         if self.remote_bw_bytes_per_us is not None:
             bucket = Container(self.env, capacity=self.burst_bytes,
                                init=self.burst_bytes)
@@ -118,6 +128,8 @@ class MovementOrchestrator:
         key = (src_region, dst_region)
         self.traffic_matrix[key] = self.traffic_matrix.get(key, 0) + nbytes
         self.bytes_moved += nbytes
+        if self._tel is not None:
+            self._m_bytes_moved.inc(nbytes, time=self.env.now)
 
     def _region_name(self, host, addr: int) -> str:
         try:

@@ -78,6 +78,27 @@ class LinkLayer:
         self._rx_occupancy = 0
         self._granted = [initial] * vcs
 
+        # Telemetry is cached once; every hot-path hook below is a
+        # single `is None` branch when observability is off.
+        self._tel = tel = env.telemetry
+        if tel is not None:
+            registry = tel.registry
+            self._m_flits = registry.counter(f"link.{name}.flits")
+            self._m_bytes = registry.counter(f"link.{name}.bytes")
+            self._m_retries = registry.counter(f"link.{name}.retries")
+            tel.add_probe(f"link.{name}.rx_occupancy",
+                          lambda: self._rx_occupancy,
+                          track=f"link.{name}")
+            for vc in range(vcs):
+                pool = self._credit_pools[vc]
+                queue = self._tx_queues[vc]
+                tel.add_probe(f"link.{name}.vc{vc}.credits",
+                              lambda p=pool: p.level,
+                              track=f"link.{name}")
+                tel.add_probe(f"link.{name}.vc{vc}.tx_backlog",
+                              lambda q=queue: len(q),
+                              track=f"link.{name}")
+
         self.control_lane_enabled = control_lane
         if control_lane:
             ctrl_bw = params.LinkParams(
@@ -185,12 +206,18 @@ class LinkLayer:
             yield from phys.serialize(flit)
             if self.error_rate and self.rng.bernoulli(self.error_rate):
                 self.retransmissions += 1
+                if self._tel is not None:
+                    self._m_retries.inc(time=self.env.now)
                 if self.tracer is not None:
                     self.tracer.record(self.env.now, "link.retry",
                                        link=self.name, flit=repr(flit))
                 # The NAK round-trip before the flit is re-serialized.
                 yield self.env.timeout(2 * self.params.propagation_ns)
                 continue
+            if self._tel is not None:
+                now = self.env.now
+                self._m_flits.inc(time=now)
+                self._m_bytes.inc(flit.size_bytes, time=now)
             return
 
     def _deliver(self, flit: Flit) -> None:

@@ -160,6 +160,13 @@ class CreditDomain:
         self._pending_gets: Dict[str, List[Event]] = {}
         if self._san is not None:
             self._san.register_credit_domain(self)
+        # Telemetry: credit occupancy per flow is probed by the
+        # TimelineSampler; stalls (an acquire that blocks) and
+        # rebalances are recorded as they happen.
+        self._tel = tel = env.telemetry
+        if tel is not None:
+            self._track = f"credits.{name}"
+            self._m_stalls = tel.registry.counter(f"credits.{name}.stalls")
 
     # -- flow registry -----------------------------------------------------
 
@@ -174,6 +181,13 @@ class CreditDomain:
         self._retire_debt[flow] = 0
         self._pending_gets[flow] = []
         self._order.append(flow)
+        if self._tel is not None:
+            pool = self._pools[flow]
+            self._tel.add_probe(f"credits.{self.name}.{flow}.available",
+                                lambda p=pool: p.level, track=self._track)
+            self._tel.add_probe(f"credits.{self.name}.{flow}.granted",
+                                lambda f=flow: self._granted[f],
+                                track=self._track)
         self._apply_targets(self.policy.targets(self))
 
     def flow_names(self) -> List[str]:
@@ -194,6 +208,11 @@ class CreditDomain:
         """Take one credit for ``flow`` (blocks while its pool is dry)."""
         self._consumed[flow] += 1
         event = self._pools[flow].get(1)
+        if self._tel is not None and not event.triggered:
+            # The flow stalled dry — the starvation signature the §3
+            # timeline scenarios visualize.
+            self._m_stalls.inc(time=self.env.now)
+            self._tel.instant("credits.stall", track=self._track, flow=flow)
         if self._san is not None:
             if event.triggered:
                 self._in_flight[flow] += 1
@@ -238,6 +257,9 @@ class CreditDomain:
         self._apply_targets(self.policy.targets(self))
         for flow in self._consumed:
             self._consumed[flow] = 0
+        if self._tel is not None:
+            self._tel.instant("cfc.rebalance", track=self._track,
+                              grants=dict(self._granted))
         if self._san is not None:
             self._san.check_credit_domain(self)
 

@@ -82,6 +82,14 @@ class FabricSwitch:
         self.flits_forwarded = 0
         self._next_index = 0
         self._rr_counter = 0
+        # Cached telemetry: the per-flit hooks below are one is-None
+        # branch when observability is off.
+        self._tel = tel = env.telemetry
+        if tel is not None:
+            registry = tel.registry
+            self._m_forwarded = registry.counter(f"pcie.{name}.flits_forwarded")
+            self._m_drops = registry.counter(f"pcie.{name}.drops")
+            self._track = f"pcie.{name}"
 
     # -- construction ------------------------------------------------------
 
@@ -101,6 +109,12 @@ class FabricSwitch:
                                      capacity=self.scheduler_capacity),
             peer=peer)
         self.ports[index] = port
+        if self._tel is not None:
+            # The issue-shaped hierarchical names: queue_depth counts
+            # flits routed to this egress but not yet on the wire.
+            self._tel.add_probe(
+                f"pcie.{self.name}.port{index}.queue_depth",
+                lambda p=port: p.pending, track=self._track)
         self.env.process(self._ingress(port), name=f"{self.name}.in{index}",
                          daemon=True)
         self.env.process(self._egress(port), name=f"{self.name}.out{index}",
@@ -141,6 +155,10 @@ class FabricSwitch:
             egress_index = self._route(flit)
         except KeyError:
             slots.release(request)
+            if self._tel is not None:
+                self._m_drops.inc(time=self.env.now)
+                self._tel.instant("switch.drop", track=self._track,
+                                  packet=repr(flit.packet))
             if self.tracer is not None:
                 self.tracer.record(self.env.now, "switch.drop",
                                    switch=self.name, packet=repr(flit.packet))
@@ -189,6 +207,8 @@ class FabricSwitch:
             port.pending -= 1
             port.flits_out += 1
             self.flits_forwarded += 1
+            if self._tel is not None:
+                self._m_forwarded.inc(time=self.env.now)
             domain = domain_lookup.get(port.index)
             if domain is not None and flit.flow is not None:
                 domain.release(flit.flow)

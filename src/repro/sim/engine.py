@@ -481,10 +481,11 @@ class Environment:
                  "_active_process", "_timeout_pool", "_hook_pool",
                  "_last_time", "_last_bucket",
                  "_pending", "_events_processed", "_peak_queue",
-                 "_busy_seconds", "_sanitizer")
+                 "_busy_seconds", "_sanitizer", "_telemetry")
 
     def __init__(self, initial_time: float = 0.0, *,
-                 sanitize: bool = False) -> None:
+                 sanitize: bool = False,
+                 telemetry: Any = None) -> None:
         self._now = float(initial_time)
         self._times: List[float] = []
         self._buckets: Dict[float, tuple] = {}
@@ -509,6 +510,18 @@ class Environment:
             self._sanitizer = RuntimeSanitizer(self)
         else:
             self._sanitizer = None
+        # Opt-in observability (metrics, spans, timeline sampling).
+        # `None` keeps every instrumented hot path to a single is-None
+        # test; see repro.telemetry.  Accepts True (a fresh default
+        # Telemetry) or a Telemetry instance.
+        if telemetry:
+            if telemetry is True:
+                from ..telemetry import Telemetry
+                telemetry = Telemetry()
+            telemetry.bind(self)
+            self._telemetry = telemetry
+        else:
+            self._telemetry = None
 
     @property
     def now(self) -> float:
@@ -527,6 +540,11 @@ class Environment:
     def sanitizer(self):
         """The attached RuntimeSanitizer, or None on the fast path."""
         return self._sanitizer
+
+    @property
+    def telemetry(self):
+        """The attached Telemetry hub, or None on the fast path."""
+        return self._telemetry
 
     @property
     def stats(self) -> Dict[str, Any]:

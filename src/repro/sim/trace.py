@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+from collections import deque
 from typing import Any, Dict, Iterator, List, Optional
 
 __all__ = ["Tracer", "TraceRecord", "StatSeries"]
@@ -31,15 +32,37 @@ class TraceRecord:
 
 
 class Tracer:
-    """Collects :class:`TraceRecord` instances; can be disabled for speed."""
+    """Collects :class:`TraceRecord` instances; can be disabled for speed.
 
-    def __init__(self, enabled: bool = True) -> None:
+    .. deprecated:: the ad-hoc record list predates
+       :mod:`repro.telemetry`, which supersedes it (metrics registry,
+       span tracing, Perfetto export).  The API keeps working: pass
+       ``telemetry=`` to route every record through the new layer —
+       each record becomes an instant event on its kind's track plus a
+       ``trace.<kind>`` counter in the registry — and ``capacity=`` to
+       bound the legacy list with a ring buffer instead of growing
+       without limit for the life of the run.
+    """
+
+    def __init__(self, enabled: bool = True,
+                 capacity: Optional[int] = None,
+                 telemetry: Any = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.enabled = enabled
-        self.records: List[TraceRecord] = []
+        self.capacity = capacity
+        self.records: Any = ([] if capacity is None
+                             else deque(maxlen=capacity))
+        self._telemetry = telemetry
 
     def record(self, time: float, kind: str, **fields: Any) -> None:
-        if self.enabled:
-            self.records.append(TraceRecord(time, kind, fields))
+        if not self.enabled:
+            return
+        self.records.append(TraceRecord(time, kind, fields))
+        telemetry = self._telemetry
+        if telemetry is not None:
+            telemetry.instant(kind, ts=time, **fields)
+            telemetry.registry.counter("trace." + kind).inc(time=time)
 
     def filter(self, kind: str) -> Iterator[TraceRecord]:
         return (r for r in self.records if r.kind == kind)

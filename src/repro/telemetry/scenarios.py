@@ -1,0 +1,258 @@
+"""Canonical telemetry scenarios behind ``repro trace`` / ``repro metrics``.
+
+Each scenario builds a small, deterministic simulation, runs it with
+telemetry (and a :class:`~repro.telemetry.sampler.TimelineSampler`)
+attached, and returns a :class:`ScenarioResult` whose summary is a
+plain JSON-able dict.  Scenarios also run with telemetry *off* — the
+bit-identity test pins that the summary (the model-observable output)
+is unchanged either way, and the benchmark harness measures the
+off-path overhead on the same builds.
+
+The three scenarios reproduce timelines the paper discusses:
+
+* ``t2`` — the Table 2 hierarchy walk: one core touching L1 / L2 /
+  local DRAM / remote FAM, one span per level;
+* ``starvation`` — §3 CFC credit starvation (claim C5): under
+  :class:`~repro.pcie.credits.RampUpPolicy` a steadily hot flow
+  compounds its grant while a quiet flow decays to the floor, then
+  stalls hard when it finally bursts;
+* ``interleave`` — §3 difference #3 (claim C3): 64B reads degrade
+  drastically when interleaved with 16KB posted writes through a
+  credit-agnostic FIFO egress.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, Optional
+
+from .. import params
+from ..fabric import Channel, Packet, PacketKind
+from ..infra import ClusterSpec, build_cluster
+from ..pcie import FabricManager, PortRole, Topology
+from ..pcie.credits import CreditDomain, RampUpPolicy
+from ..sim import Environment, run_proc
+from .core import Telemetry, span
+from .sampler import DEFAULT_INTERVAL_NS, TimelineSampler
+
+__all__ = ["ScenarioResult", "TELEMETRY_SCENARIOS", "run_scenario",
+           "scenario_names"]
+
+
+@dataclasses.dataclass
+class ScenarioResult:
+    """One scenario run: the environment, its telemetry, the summary."""
+
+    name: str
+    env: Environment
+    telemetry: Optional[Telemetry]
+    summary: Dict[str, Any]
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        if self.telemetry is None:
+            raise ValueError(f"scenario {self.name!r} ran without telemetry")
+        return self.telemetry.to_chrome_trace()
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        if self.telemetry is None:
+            raise ValueError(f"scenario {self.name!r} ran without telemetry")
+        snapshot = self.telemetry.registry.snapshot()
+        snapshot["scenario"] = self.name
+        snapshot["summary"] = self.summary
+        return snapshot
+
+
+# --------------------------------------------------------------------------
+# t2: the Table 2 hierarchy walk
+# --------------------------------------------------------------------------
+
+def _build_t2(env: Environment) -> Dict[str, Any]:
+    cluster = build_cluster(env, ClusterSpec(hosts=1))
+    host = cluster.host(0)
+    remote_base = host.remote_base("fam0")
+    hot_line = 1 << 20
+    mean_ns: Dict[str, float] = {}
+
+    def level(label: str, addrs, is_write: bool):
+        with span(env, "t2.level", track="t2", level=label,
+                  accesses=len(addrs)):
+            start = env.now
+            for addr in addrs:
+                yield from host.mem.access(addr, is_write)
+            mean_ns[label] = round((env.now - start) / len(addrs), 3)
+
+    # A 64KB set: twice the 32KB L1, well inside the 1MB L2 — after a
+    # warm pass the half evicted from L1 gives clean L2 hits.
+    l2_lines = [(3 << 20) + i * 64 for i in range(1024)]
+
+    def walk():
+        yield from host.mem.access(hot_line, False)     # warm the line
+        yield from level("l1", [hot_line] * 32, False)
+        with span(env, "t2.warm", track="t2", lines=len(l2_lines)):
+            for addr in l2_lines:
+                yield from host.mem.access(addr, False)
+        yield from level("l2", l2_lines[:256], False)
+        yield from level("local",
+                         [(2 << 20) + i * 4096 for i in range(32)], False)
+        yield from level("remote",
+                         [remote_base + i * 4096 for i in range(32)],
+                         False)
+
+    run_proc(env, walk())
+    return {"mean_ns": mean_ns,
+            "remote_vs_local":
+                round(mean_ns["remote"] / mean_ns["local"], 2)}
+
+
+# --------------------------------------------------------------------------
+# starvation: §3 CFC quiet-flow starvation under RampUpPolicy (C5)
+# --------------------------------------------------------------------------
+
+_SERIALIZE_NS = 40.0
+_WINDOW = 8
+_BURST_FLITS = 64
+
+
+def _build_starvation(env: Environment) -> Dict[str, Any]:
+    domain = CreditDomain(env, budget=32, policy=RampUpPolicy(),
+                          rebalance_ns=2_000.0, name="egress0")
+    domain.register("hot")
+    domain.register("quiet")
+    domain.start()
+    stalled: Dict[str, float] = {"hot": 0.0, "quiet": 0.0}
+
+    def worker(flow: str, remaining):
+        # One of _WINDOW pipelined issuers: the concurrency is what
+        # makes a floor-sized grant visibly starve the flow.
+        while remaining[0] > 0:
+            remaining[0] -= 1
+            start = env.now
+            yield domain.acquire(flow)
+            stalled[flow] += env.now - start
+            yield env.timeout(_SERIALIZE_NS)
+            domain.release(flow)
+
+    def run_flow(flow: str, flits: int):
+        remaining = [flits]
+        workers = [env.process(worker(flow, remaining))
+                   for _ in range(_WINDOW)]
+        yield env.all_of(workers)
+
+    def hot_flow():
+        with span(env, "starvation.hot_stream", track="app.hot"):
+            yield from run_flow("hot", 3000)
+
+    def quiet_flow():
+        # Idle through several rebalance periods: RampUpPolicy decays
+        # the grant to the floor.  Then burst.
+        yield env.timeout(12_000.0)
+        with span(env, "starvation.quiet_burst", track="app.quiet"):
+            start = env.now
+            yield from run_flow("quiet", _BURST_FLITS)
+            stalled["burst_ns"] = round(env.now - start, 1)
+
+    procs = [env.process(hot_flow()), env.process(quiet_flow())]
+
+    def wait():
+        yield env.all_of(procs)
+
+    run_proc(env, wait())
+    # An unstarved burst streams at the full window: the ratio is the
+    # C5 pathology the exported timeline makes visible.
+    ideal = _BURST_FLITS * _SERIALIZE_NS / _WINDOW
+    return {"quiet_stall_ns": round(stalled["quiet"], 1),
+            "quiet_burst_ns": stalled["burst_ns"],
+            "hot_stall_ns": round(stalled["hot"], 1),
+            "burst_vs_ideal": round(stalled["burst_ns"] / ideal, 2),
+            "final_grants": {name: domain.granted(name)
+                             for name in domain.flow_names()}}
+
+
+# --------------------------------------------------------------------------
+# interleave: 64B reads vs 16KB posted writes through a FIFO egress (C3)
+# --------------------------------------------------------------------------
+
+def _build_interleave(env: Environment) -> Dict[str, Any]:
+    topo = Topology(env, scheduler="fifo")
+    topo.add_switch("sw0")
+    for name in ("reader", "writer"):
+        topo.add_endpoint(name)
+        topo.connect_endpoint("sw0", name, role=PortRole.UPSTREAM)
+    topo.add_endpoint("dev")
+    topo.connect_endpoint("sw0", "dev",
+                          link_params=params.LinkParams(lanes=4))
+    FabricManager(topo).configure()
+
+    def handler(request):
+        yield env.timeout(params.FAM_ACCESS_NS)
+        if request.kind is PacketKind.IO_WR:
+            return None   # posted
+        return request.make_response()
+
+    topo.port_of("dev").serve(handler, concurrency=8)
+    dst = topo.endpoints["dev"].global_id
+    read_ns = []
+
+    def reader():
+        port = topo.port_of("reader")
+        for _ in range(24):
+            packet = Packet(kind=PacketKind.MEM_RD,
+                            channel=Channel.CXL_MEM,
+                            src=port.port_id, dst=dst, nbytes=64)
+            with span(env, "interleave.read64", track="app.reader"):
+                start = env.now
+                yield from port.request(packet)
+                read_ns.append(env.now - start)
+            yield env.timeout(300.0)
+
+    def writer():
+        port = topo.port_of("writer")
+        for _ in range(48):
+            packet = Packet(kind=PacketKind.IO_WR,
+                            channel=Channel.CXL_IO,
+                            src=port.port_id, dst=dst, nbytes=16 * 1024)
+            with span(env, "interleave.write16k", track="app.writer"):
+                yield from port.post(packet)
+
+    procs = [env.process(reader()), env.process(writer())]
+
+    def wait():
+        yield env.all_of(procs)
+
+    run_proc(env, wait())
+    return {"reads": len(read_ns),
+            "read64_mean_ns": round(sum(read_ns) / len(read_ns), 1),
+            "read64_max_ns": round(max(read_ns), 1)}
+
+
+TELEMETRY_SCENARIOS: Dict[str, Callable[[Environment], Dict[str, Any]]] = {
+    "t2": _build_t2,
+    "starvation": _build_starvation,
+    "interleave": _build_interleave,
+}
+
+
+def scenario_names():
+    return sorted(TELEMETRY_SCENARIOS)
+
+
+def run_scenario(name: str,
+                 interval_ns: float = DEFAULT_INTERVAL_NS,
+                 telemetry: bool = True) -> ScenarioResult:
+    """Run one canonical scenario; raises ValueError on unknown names.
+
+    With ``telemetry=False`` the identical model runs bare — the
+    bit-identity test and the overhead benchmark both lean on this.
+    """
+    try:
+        build = TELEMETRY_SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from "
+            f"{', '.join(scenario_names())}") from None
+    env = Environment(telemetry=telemetry)
+    if env.telemetry is not None:
+        TimelineSampler(env, interval_ns=interval_ns).start()
+    summary = build(env)
+    return ScenarioResult(name=name, env=env, telemetry=env.telemetry,
+                          summary=summary)

@@ -15,6 +15,7 @@ from typing import Dict, Generator, List, Optional, Tuple
 
 from ..core.heap import SmartPointer, UnifiedHeap
 from ..sim import Environment, Event, SimRng
+from ..telemetry import span
 
 __all__ = ["CsrGraph", "random_graph"]
 
@@ -62,6 +63,9 @@ class CsrGraph:
             prefer_tier=prefer_tier)
         self.vertex_data_obj = heap.allocate(
             max(64, self.num_vertices * 64), prefer_tier=prefer_tier)
+        tel = env.telemetry
+        self._m_vertices = (tel.registry.counter("workload.graph.vertices")
+                            if tel is not None else None)
 
     # -- charged accessors ---------------------------------------------------
 
@@ -89,15 +93,19 @@ class CsrGraph:
             raise ValueError(f"source {source} out of range")
         depth = {source: 0}
         frontier = deque([source])
-        while frontier:
-            vertex = frontier.popleft()
-            yield from self._touch_vertex(vertex)
-            start, end = yield from self._read_offset(vertex)
-            neighbors = yield from self._read_edges(start, end)
-            for neighbor in neighbors:
-                if neighbor not in depth:
-                    depth[neighbor] = depth[vertex] + 1
-                    frontier.append(neighbor)
+        with span(self.env, "workload.graph.bfs", track="workload",
+                  source=source):
+            while frontier:
+                vertex = frontier.popleft()
+                yield from self._touch_vertex(vertex)
+                if self._m_vertices is not None:
+                    self._m_vertices.inc(time=self.env.now)
+                start, end = yield from self._read_offset(vertex)
+                neighbors = yield from self._read_edges(start, end)
+                for neighbor in neighbors:
+                    if neighbor not in depth:
+                        depth[neighbor] = depth[vertex] + 1
+                        frontier.append(neighbor)
         return depth
 
     def degree_sum(self) -> Generator[Event, None, int]:

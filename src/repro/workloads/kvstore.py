@@ -41,6 +41,16 @@ class KvStore:
         self.value_bytes = value_bytes
         self._index: Dict[str, SmartPointer] = {}
         self.stats = KvStats()
+        tel = env.telemetry
+        if tel is not None:
+            registry = tel.registry
+            self._m_puts = registry.counter("workload.kv.puts")
+            self._m_gets = registry.counter("workload.kv.gets")
+            self._m_hits = registry.counter("workload.kv.hits")
+            self._m_misses = registry.counter("workload.kv.misses")
+            self._h_value_bytes = registry.histogram("workload.kv.value_bytes")
+        else:
+            self._m_puts = None
 
     def __len__(self) -> int:
         return len(self._index)
@@ -63,14 +73,22 @@ class KvStore:
             yield from pointer.write(offset, chunk)
             offset += chunk
         self.stats.puts += 1
+        if self._m_puts is not None:
+            now = self.env.now
+            self._m_puts.inc(time=now)
+            self._h_value_bytes.observe(size, time=now)
         return pointer
 
     def get(self, key: str) -> Generator[Event, None, bool]:
         """Read the whole value; returns False on miss."""
         self.stats.gets += 1
+        if self._m_puts is not None:
+            self._m_gets.inc(time=self.env.now)
         pointer = self._index.get(key)
         if pointer is None:
             self.stats.misses += 1
+            if self._m_puts is not None:
+                self._m_misses.inc(time=self.env.now)
             return False
         offset = 0
         while offset < pointer.size:
@@ -78,6 +96,8 @@ class KvStore:
             yield from pointer.read(offset, chunk)
             offset += chunk
         self.stats.hits += 1
+        if self._m_puts is not None:
+            self._m_hits.inc(time=self.env.now)
         return True
 
     def delete(self, key: str) -> bool:

@@ -27,7 +27,7 @@ __all__ = ["MimoConfig", "MimoChannel", "UplinkPipeline",
            "DOWNLINK_KERNEL_ORDER",
            "qpsk_modulate", "qpsk_demodulate",
            "repetition_encode", "repetition_decode",
-           "KERNEL_ORDER", "flops_to_ns"]
+           "KERNEL_ORDER", "flops_to_ns", "record_kernel_flops"]
 
 #: kernels in uplink order (the paper's figure: FFT -> equalization ->
 #: demodulation -> decoding)
@@ -42,6 +42,20 @@ FLOPS_PER_NS = 8.0
 def flops_to_ns(flops: float, speedup: float = 1.0) -> float:
     """Convert a kernel's FLOP estimate to modelled compute time."""
     return flops / (FLOPS_PER_NS * speedup)
+
+
+def record_kernel_flops(registry, flops: Dict[str, float],
+                        prefix: str = "workload.mimo",
+                        time: float = None) -> None:
+    """Fold one frame's per-kernel FLOP estimates into telemetry.
+
+    The pipelines themselves are pure computation with no simulation
+    environment, so the simulation-facing caller (which knows both the
+    registry and the sim time the frame completed) records the counts.
+    """
+    for kernel, count in flops.items():
+        registry.histogram(f"{prefix}.{kernel}.flops").observe(
+            count, time=time)
 
 
 @dataclasses.dataclass(frozen=True)

@@ -27,7 +27,7 @@ except ImportError:  # pragma: no cover - numpy is a baked-in dependency
     _np = None
 
 __all__ = ["sequential", "uniform", "zipfian", "pointer_chase",
-           "phased_working_sets", "read_write_mix"]
+           "phased_working_sets", "read_write_mix", "instrumented"]
 
 LINE = params.CACHELINE_BYTES
 
@@ -141,6 +141,26 @@ def phased_working_sets(base: int, phase_span: int, phases: int,
         phase_base = base + phase * phase_span
         yield from uniform(phase_base, phase_span, accesses_per_phase,
                            rng, write_fraction)
+
+
+def instrumented(trace: Iterator[Tuple[int, bool]], env,
+                 name: str = "trace") -> Iterator[Tuple[int, bool]]:
+    """Pass a trace through telemetry read/write counters.
+
+    Returns the trace unchanged when the environment has no telemetry,
+    so generators stay zero-overhead in uninstrumented runs.
+    """
+    tel = env.telemetry
+    if tel is None:
+        return trace
+    reads = tel.registry.counter(f"workload.{name}.reads")
+    writes = tel.registry.counter(f"workload.{name}.writes")
+
+    def _stream() -> Iterator[Tuple[int, bool]]:
+        for addr, is_write in trace:
+            (writes if is_write else reads).inc(time=env.now)
+            yield addr, is_write
+    return _stream()
 
 
 def read_write_mix(addrs: List[int], rng: SimRng,

@@ -1,0 +1,16 @@
+"""FCC006 fixture: strings formatted per-event in telemetry calls."""
+
+__all__ = ["emit"]
+
+
+def emit(env, tracer, counter, histogram, telemetry, span, flow, n):
+    tracer.record(env.now, f"link.{flow}.retry")              # FCC006
+    tracer.record(env.now, "retry %s" % flow)                 # FCC006
+    with span(env, "op.{}".format(flow)):                     # FCC006
+        counter.inc(time=env.now)
+    telemetry.instant("stall", detail=f"flow={flow}")         # FCC006
+    histogram.observe(n, time=env.now)
+    allowed = f"ok.{flow}"        # formatting outside a sink is fine
+    tracer.record(env.now, allowed)
+    tracer.record(env.now, f"constant-free")   # no placeholder: clean
+    return allowed

@@ -17,6 +17,7 @@ RULE_FIXTURES = [
     ("FCC003", "bad_generator_return.py"),
     ("FCC004", "bad_mutable.py"),
     ("FCC005", "bad_unordered.py"),
+    ("FCC006", "bad_eager_format.py"),
 ]
 
 

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
+from repro.telemetry import validate_chrome_trace
 
 
 class TestCli:
@@ -31,3 +34,62 @@ class TestCli:
     def test_no_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestPerfCli:
+    def test_perf_prints_kernel_counters(self, capsys):
+        assert main(["perf", "--procs", "20", "--steps", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "events_processed" in out
+        assert "events_per_sec" in out
+
+    def test_perf_bad_argument_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["perf", "--procs", "not-a-number"])
+
+
+class TestTraceCli:
+    def test_trace_writes_valid_chrome_trace(self, tmp_path, capsys):
+        out_file = tmp_path / "trace-t2.json"
+        assert main(["trace", "t2", "--out", str(out_file)]) == 0
+        stdout = capsys.readouterr().out
+        assert "trace[t2]" in stdout
+        payload = json.loads(out_file.read_text())
+        assert validate_chrome_trace(payload) > 0
+
+    def test_trace_creates_parent_directories(self, tmp_path):
+        out_file = tmp_path / "nested" / "deep" / "trace.json"
+        assert main(["trace", "starvation", "--out", str(out_file),
+                     "--interval", "500"]) == 0
+        assert out_file.exists()
+
+    def test_trace_unknown_scenario_exits_two(self, capsys):
+        assert main(["trace", "nope", "--out", "unused.json"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_trace_missing_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+
+
+class TestMetricsCli:
+    def test_metrics_json_schema(self, capsys):
+        assert main(["metrics", "starvation", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        assert payload["tool"] == "repro-telemetry"
+        assert payload["scenario"] == "starvation"
+        assert payload["count"] == len(payload["metrics"])
+        assert "credits.egress0.stalls" in payload["metrics"]
+        assert payload["summary"]["burst_vs_ideal"] > 1.0
+
+    def test_metrics_human_output(self, capsys):
+        assert main(["metrics", "interleave"]) == 0
+        out = capsys.readouterr().out
+        assert "metrics[interleave]" in out
+        assert "pcie.sw0.flits_forwarded" in out
+        assert "summary:" in out
+
+    def test_metrics_unknown_scenario_exits_two(self, capsys):
+        assert main(["metrics", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err

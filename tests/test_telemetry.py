@@ -1,0 +1,359 @@
+"""Tests for repro.telemetry: metrics, spans, Perfetto export, sampler,
+the Tracer bridge, and the telemetry-on/off bit-identity guarantee."""
+
+import json
+
+import pytest
+
+from repro.sim import Environment, Store, Tracer
+from repro.telemetry import (ChromeTraceError, Counter, Gauge, Histogram,
+                             MetricRegistry, Telemetry, TimelineSampler,
+                             span, to_chrome_trace, validate_chrome_trace)
+from repro.telemetry.scenarios import run_scenario, scenario_names
+
+
+class TestMetricRegistry:
+    def test_counter_get_or_create_is_stable(self):
+        registry = MetricRegistry()
+        a = registry.counter("pcie.sw0.flits")
+        b = registry.counter("pcie.sw0.flits")
+        assert a is b
+        a.inc(3, time=10.0)
+        assert b.value == 3
+        assert b.last_time == 10.0
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("x")
+
+    def test_gauge_tracks_min_max(self):
+        gauge = MetricRegistry().gauge("depth")
+        for value in (4, 9, 2):
+            gauge.set(value)
+        assert (gauge.value, gauge.minimum, gauge.maximum) == (2, 2, 9)
+
+    def test_hierarchical_names_prefix_filter(self):
+        registry = MetricRegistry()
+        for name in ("pcie.sw0.port0.queue_depth", "pcie.sw0.drops",
+                     "pcie.sw1.drops", "link.l0.flits"):
+            registry.counter(name)
+        assert registry.names("pcie.sw0") == [
+            "pcie.sw0.drops", "pcie.sw0.port0.queue_depth"]
+        assert len(registry.names()) == 4
+        assert registry.names("pcie.sw") == []   # dotted, not substring
+
+    def test_snapshot_schema_and_json_round_trip(self):
+        registry = MetricRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(7, time=5.0)
+        registry.histogram("h").observe(100)
+        snapshot = registry.snapshot()
+        assert snapshot["schema"] == 1
+        assert snapshot["tool"] == "repro-telemetry"
+        assert snapshot["count"] == 3
+        assert set(snapshot["metrics"]) == {"c", "g", "h"}
+        assert snapshot["metrics"]["c"]["kind"] == "counter"
+        json.dumps(snapshot)
+
+
+class TestHistogram:
+    def test_log_buckets(self):
+        hist = Histogram("lat")
+        for value in (0, 0.5, 1, 3, 1000):
+            hist.observe(value)
+        rows = hist.buckets()
+        assert rows[0] == (0.0, 1.0, 2)        # 0 and 0.5
+        assert (1.0, 2.0, 1) in rows           # 1
+        assert (2.0, 4.0, 1) in rows           # 3
+        assert (512.0, 1024.0, 1) in rows      # 1000
+        assert hist.count == 5
+        assert hist.mean == pytest.approx(1004.5 / 5)
+
+    def test_quantile_upper_bound(self):
+        hist = Histogram("lat")
+        for _ in range(99):
+            hist.observe(1)
+        hist.observe(1000)
+        assert hist.quantile(0.5) == 2.0
+        assert hist.quantile(1.0) == 1024.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("lat").observe(-1)
+
+    def test_empty_queries_raise(self):
+        hist = Histogram("lat")
+        with pytest.raises(ValueError):
+            hist.mean
+        with pytest.raises(ValueError):
+            hist.quantile(0.5)
+
+
+class TestEnvironmentHook:
+    def test_off_by_default(self):
+        assert Environment().telemetry is None
+
+    def test_true_builds_default_instance(self):
+        env = Environment(telemetry=True)
+        assert isinstance(env.telemetry, Telemetry)
+        assert env.telemetry.env is env
+
+    def test_explicit_instance_is_bound(self):
+        telemetry = Telemetry()
+        env = Environment(telemetry=telemetry)
+        assert env.telemetry is telemetry
+
+    def test_rebinding_to_second_env_rejected(self):
+        telemetry = Telemetry()
+        Environment(telemetry=telemetry)
+        with pytest.raises(ValueError, match="already bound"):
+            Environment(telemetry=telemetry)
+
+
+class TestSpans:
+    def test_span_records_duration_at_sim_time(self):
+        env = Environment(telemetry=True)
+
+        def work():
+            with span(env, "cfc.rebalance", grants=3):
+                yield env.timeout(25.0)
+
+        env.process(work())
+        env.run(until=100.0)
+        events = env.telemetry.events
+        begins = [e for e in events if e[0] == "B"]
+        ends = [e for e in events if e[0] == "E"]
+        assert len(begins) == len(ends) == 1
+        assert begins[0][1] == 0.0 and ends[0][1] == 25.0
+        assert begins[0][3] == "cfc.rebalance"
+        assert begins[0][4] == {"grants": 3}
+
+    def test_track_defaults_to_dotted_prefix(self):
+        env = Environment(telemetry=True)
+        with span(env, "pcie.sw0.forward"):
+            pass
+        with span(env, "flat"):
+            pass
+        tracks = env.telemetry.track_names()
+        assert "pcie.sw0" in tracks
+        assert "main" in tracks
+
+    def test_off_path_is_shared_noop(self):
+        env = Environment()
+        first = span(env, "anything", key="value")
+        second = span(env, "other")
+        assert first is second            # the shared singleton
+        with first:
+            pass                          # and it is a context manager
+
+
+class TestPerfettoExport:
+    def _traced_env(self):
+        env = Environment(telemetry=True)
+
+        def work():
+            with span(env, "app.step", n=1):
+                yield env.timeout(10.0)
+            env.telemetry.instant("app.mark", level=2)
+
+        env.process(work())
+        env.run(until=50.0)
+        return env
+
+    def test_export_validates_and_is_json(self):
+        env = self._traced_env()
+        payload = to_chrome_trace(env.telemetry)
+        count = validate_chrome_trace(payload)
+        assert count == len(payload["traceEvents"])
+        json.dumps(payload)
+
+    def test_thread_metadata_per_track(self):
+        env = self._traced_env()
+        payload = to_chrome_trace(env.telemetry)
+        meta = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert "repro simulation" in names
+        assert "app" in names
+
+    def test_ts_converted_to_microseconds(self):
+        env = self._traced_env()
+        payload = to_chrome_trace(env.telemetry)
+        end = next(e for e in payload["traceEvents"] if e["ph"] == "E")
+        assert end["ts"] == pytest.approx(10.0 / 1000.0)
+
+    def test_validator_rejects_garbage(self):
+        with pytest.raises(ChromeTraceError):
+            validate_chrome_trace([])
+        with pytest.raises(ChromeTraceError):
+            validate_chrome_trace({"traceEvents": []})
+        with pytest.raises(ChromeTraceError):
+            validate_chrome_trace({"traceEvents": [{"ph": "Z", "pid": 1}]})
+
+    def test_validator_rejects_unbalanced_spans(self):
+        events = [{"ph": "B", "ts": 1.0, "pid": 1, "tid": 1, "name": "x"}]
+        with pytest.raises(ChromeTraceError, match="unclosed"):
+            validate_chrome_trace({"traceEvents": events})
+        events = [{"ph": "E", "ts": 1.0, "pid": 1, "tid": 1}]
+        with pytest.raises(ChromeTraceError, match="without a matching"):
+            validate_chrome_trace({"traceEvents": events})
+
+    def test_validator_rejects_backwards_time(self):
+        events = [
+            {"ph": "i", "ts": 5.0, "pid": 1, "tid": 1, "name": "a"},
+            {"ph": "i", "ts": 1.0, "pid": 1, "tid": 1, "name": "b"},
+        ]
+        with pytest.raises(ChromeTraceError, match="backwards"):
+            validate_chrome_trace({"traceEvents": events})
+
+
+class TestTimelineSampler:
+    def test_probes_sampled_into_gauges_and_counters(self):
+        env = Environment(telemetry=True)
+        state = {"depth": 0}
+        env.telemetry.add_probe("sw.q", lambda: state["depth"],
+                                track="sw")
+
+        def mutate():
+            for depth in (3, 7, 2):
+                state["depth"] = depth
+                yield env.timeout(100.0)
+
+        sampler = TimelineSampler(env, interval_ns=100.0).start()
+        env.process(mutate())
+        env.run(until=301.0)
+        assert sampler.samples_taken == 3
+        gauge = env.telemetry.registry.get("sw.q")
+        assert gauge.maximum == 7
+        # The sampler started first, so at each coincident timestamp
+        # it observes the value set in the *previous* interval.
+        counters = [e for e in env.telemetry.events if e[0] == "C"]
+        assert [value for _, _, _, value in counters] == [3, 7, 2]
+
+    def test_needs_telemetry(self):
+        with pytest.raises(ValueError, match="needs telemetry"):
+            TimelineSampler(Environment())
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            TimelineSampler(Environment(telemetry=True), interval_ns=0)
+
+    def test_start_is_idempotent(self):
+        env = Environment(telemetry=True)
+        sampler = TimelineSampler(env, interval_ns=10.0)
+        assert sampler.start() is sampler
+        sampler.start()
+        env.run(until=25.0)
+        assert sampler.samples_taken == 2   # one loop, not two
+
+
+class TestTracerBridge:
+    def test_ring_buffer_caps_records(self):
+        tracer = Tracer(capacity=3)
+        for i in range(10):
+            tracer.record(float(i), "tick", i=i)
+        assert len(tracer.records) == 3
+        assert [r.i for r in tracer.records] == [7, 8, 9]
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_unbounded_list_by_default(self):
+        tracer = Tracer()
+        assert tracer.records == []
+        tracer.record(1.0, "tick")
+        assert tracer.count("tick") == 1
+
+    def test_records_route_through_telemetry(self):
+        env = Environment(telemetry=True)
+        tracer = Tracer(telemetry=env.telemetry)
+        tracer.record(5.0, "link.retry", link="l0")
+        instants = [e for e in env.telemetry.events if e[0] == "i"]
+        assert len(instants) == 1
+        assert instants[0][1] == 5.0
+        assert instants[0][3] == "link.retry"
+        counter = env.telemetry.registry.get("trace.link.retry")
+        assert counter.value == 1
+
+    def test_disabled_tracer_skips_telemetry_too(self):
+        env = Environment(telemetry=True)
+        tracer = Tracer(enabled=False, telemetry=env.telemetry)
+        tracer.record(1.0, "x")
+        assert env.telemetry.events == []
+
+
+class TestScenarios:
+    def test_scenario_names(self):
+        assert scenario_names() == ["interleave", "starvation", "t2"]
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            run_scenario("nope")
+
+    def test_t2_walk_shows_the_hierarchy(self):
+        result = run_scenario("t2")
+        mean = result.summary["mean_ns"]
+        assert mean["l1"] < mean["l2"] < mean["local"] < mean["remote"]
+        assert result.summary["remote_vs_local"] > 10.0
+
+    def test_starvation_quiet_flow_stalls(self):
+        result = run_scenario("starvation")
+        summary = result.summary
+        # The C5 signature: the quiet burst runs far slower than an
+        # unstarved window, while the hot flow never stalls.
+        assert summary["burst_vs_ideal"] > 3.0
+        assert summary["quiet_stall_ns"] > summary["hot_stall_ns"]
+        assert summary["final_grants"]["quiet"] < \
+            summary["final_grants"]["hot"]
+        stalls = result.telemetry.registry.get("credits.egress0.stalls")
+        assert stalls is not None and stalls.value > 0
+
+    def test_scenarios_export_valid_traces(self):
+        for name in scenario_names():
+            result = run_scenario(name)
+            count = validate_chrome_trace(result.chrome_trace())
+            assert count > 0
+            snapshot = result.metrics_snapshot()
+            assert snapshot["scenario"] == name
+            json.dumps(snapshot)
+
+
+class TestBitIdentity:
+    """Telemetry must never change what the simulation computes."""
+
+    def _trace(self, telemetry):
+        env = Environment(telemetry=telemetry)
+        store = Store(env)
+        log = []
+
+        def producer():
+            for i in range(50):
+                with span(env, "prod.put", i=i):
+                    yield env.timeout(3.0)
+                    yield store.put(i)
+
+        def consumer():
+            while True:
+                item = yield store.get()
+                log.append((env.now, item))
+                yield env.timeout(1.0)
+
+        env.process(producer(), name="prod")
+        env.process(consumer(), name="cons", daemon=True)
+        env.run(until=500.0)
+        return log, env.stats["events_processed"]
+
+    def test_telemetry_does_not_change_scheduling(self):
+        plain, plain_events = self._trace(False)
+        observed, observed_events = self._trace(True)
+        assert plain == observed
+        # Spans/instants/counters add zero simulation events.
+        assert plain_events == observed_events
+
+    @pytest.mark.parametrize("name", ["t2", "starvation", "interleave"])
+    def test_scenario_results_identical_on_off(self, name):
+        on = run_scenario(name, telemetry=True)
+        off = run_scenario(name, telemetry=False)
+        assert on.summary == off.summary
