@@ -206,6 +206,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     })
     check("telemetry_off_within_noise_of_fast_path", on_ratio < 3.0)
 
+    # -- causal tracing: on-path overhead --------------------------------
+    # Telemetry-on is the baseline here: causal tracing rides on top of
+    # it, so the interesting ratios are full tracing (every transaction
+    # rooted) and 1/16 sampling over the telemetry-on wall clock.  The
+    # generous bound just catches pathological blowups; the precise
+    # no-perturbation property (bit-identical schedules) is pinned by
+    # tests, not wall clocks.
+    full_best = sampled_best = None
+    roots_full = roots_sampled = 0
+    for _ in range(t_rounds):
+        result, wall_full, _ = _timed(
+            lambda: run_scenario(scenario, causal=True))
+        if full_best is None or wall_full < full_best:
+            full_best, roots_full = wall_full, result.causal.started
+        result, wall_sampled, _ = _timed(
+            lambda: run_scenario(scenario, causal=True, causal_sample=16))
+        if sampled_best is None or wall_sampled < sampled_best:
+            sampled_best = wall_sampled
+            roots_sampled = result.causal.started
+    full_ratio = full_best / on_best if on_best > 0 else 0.0
+    sampled_ratio = sampled_best / on_best if on_best > 0 else 0.0
+    record("causal_overhead", full_best, on_events, {
+        "scenario": scenario,
+        "best_of": t_rounds,
+        "telemetry_on_wall_s": round(on_best, 4),
+        "causal_full_wall_s": round(full_best, 4),
+        "causal_sampled_wall_s": round(sampled_best, 4),
+        "full_vs_telemetry_on": round(full_ratio, 3),
+        "sampled_vs_telemetry_on": round(sampled_ratio, 3),
+        "sample": 16,
+        "roots_full": roots_full,
+        "roots_sampled": roots_sampled,
+    })
+    check("causal_full_tracing_bounded", full_ratio < 3.0)
+    check("causal_sampling_reduces_roots", roots_sampled < roots_full)
+
     # -- report ----------------------------------------------------------
     payload = {
         "schema": 1,

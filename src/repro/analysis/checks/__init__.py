@@ -20,6 +20,9 @@ code          slug                flags
                                   arguments built per-event inside
                                   ``record``/``span``/``instant``/
                                   ``inc``/``observe`` telemetry calls
+``FCC007``    ``span-context``    ``span(...)`` context managers that
+                                  are never entered, so the duration
+                                  event is silently dropped
 ============  ==================  ==================================
 
 To add a rule: subclass :class:`repro.analysis.lint.LintCheck` in a
@@ -33,6 +36,7 @@ from .eager_format import EagerFormatCheck
 from .generator_return import GeneratorReturnCheck
 from .mutable_state import MutableStateCheck
 from .rng_use import SeededRngCheck
+from .span_context import SpanContextCheck
 from .unordered_iter import UnorderedIterCheck
 from .wall_clock import WallClockCheck
 
@@ -44,8 +48,10 @@ CHECKS = [
     MutableStateCheck,
     UnorderedIterCheck,
     EagerFormatCheck,
+    SpanContextCheck,
 ]
 
 __all__ = ["CHECKS", "SeededRngCheck", "WallClockCheck",
            "GeneratorReturnCheck", "MutableStateCheck",
-           "UnorderedIterCheck", "EagerFormatCheck"]
+           "UnorderedIterCheck", "EagerFormatCheck",
+           "SpanContextCheck"]

@@ -1,0 +1,83 @@
+"""FCC007: a telemetry span created but not used as a context manager.
+
+``span(env, ...)`` and ``telemetry.span(...)`` return a context
+manager; the duration event is only recorded when the ``with`` block
+closes it.  A bare call —
+
+    span(env, "phase.compute", track="app")     # leaked!
+
+— allocates the span, records nothing, and silently drops the timing
+the caller believed it captured.  The same goes for storing the
+context manager and never entering it.
+
+Accepted usages:
+
+* the call is a ``with`` item (``with span(env, ...):``);
+* the call is assigned to a name that some ``with`` item in the same
+  module later enters (``s = span(...)`` ... ``with s:``);
+* the call is returned, so entering it is the caller's job;
+* the call is handed to ``ExitStack.enter_context(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from ..lint import LintCheck, SourceFile, Violation
+
+__all__ = ["SpanContextCheck"]
+
+
+def _is_span_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "span"
+    return isinstance(func, ast.Attribute) and func.attr == "span"
+
+
+class SpanContextCheck(LintCheck):
+    code = "FCC007"
+    slug = "span-context"
+    summary = ("span(...) not used as a context manager; the duration "
+               "is recorded only when the `with` block exits")
+
+    def violations(self, source: SourceFile,
+                   tree: ast.Module) -> Iterator[Violation]:
+        allowed: Set[int] = set()
+        with_names: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    expression = item.context_expr
+                    if _is_span_call(expression):
+                        allowed.add(id(expression))
+                    elif isinstance(expression, ast.Name):
+                        with_names.add(expression.id)
+            elif isinstance(node, ast.Return):
+                if _is_span_call(node.value):
+                    allowed.add(id(node.value))
+            elif (isinstance(node, ast.Call)
+                  and isinstance(node.func, ast.Attribute)
+                  and node.func.attr == "enter_context"):
+                for argument in node.args:
+                    if _is_span_call(argument):
+                        allowed.add(id(argument))
+        # Second pass, once all `with <name>:` entries are known:
+        # assigning to a with-entered name is the deferred-enter idiom.
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Assign)
+                    and _is_span_call(node.value)
+                    and all(isinstance(target, ast.Name)
+                            and target.id in with_names
+                            for target in node.targets)):
+                allowed.add(id(node.value))
+        for node in ast.walk(tree):
+            if _is_span_call(node) and id(node) not in allowed:
+                yield self.hit(
+                    source, node,
+                    "span context manager is never entered; wrap the "
+                    "timed region in `with span(...):` (or return the "
+                    "manager / hand it to enter_context)")

@@ -15,7 +15,12 @@ Commands:
   non-zero on any violation or finding;
 * ``trace``   — run a canonical telemetry scenario and export the
   Chrome trace-event JSON (load it at https://ui.perfetto.dev);
-* ``metrics`` — run a scenario and print its metric registry snapshot.
+* ``metrics`` — run a scenario and print its metric registry snapshot;
+* ``why``     — run a scenario with causal tracing, reconstruct each
+  transaction's critical path and print where the nanoseconds went
+  (credit stalls vs queueing vs arbitration vs wire vs processing);
+* ``compare`` — diff two recorded JSON payloads (``BENCH_<n>.json`` or
+  ``repro why --json``) and exit non-zero on regressions.
 """
 
 from __future__ import annotations
@@ -198,6 +203,87 @@ def cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_why(args: argparse.Namespace) -> int:
+    """Causal 'why is it slow': critical paths + latency attribution."""
+    from .telemetry.attribution import validate_attribution
+    from .telemetry.scenarios import run_scenario
+    try:
+        result = run_scenario(args.scenario, interval_ns=args.interval,
+                              causal=True, causal_sample=args.sample)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = result.attribution_report(max_transactions=args.limit)
+    validate_attribution(report)
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    trace = report["trace"]
+    print(f"why[{report['scenario']}]: {trace['analyzed']} of "
+          f"{trace['finished']} transactions analyzed "
+          f"(sample 1/{trace['sample']}, {trace['roots_seen']} roots)")
+    if trace["saturated"]:
+        print("  note: flight recorder saturated; oldest events evicted")
+    print(f"\n{'category':<16} {'total ns':>14} {'share':>8}   per-txn p95")
+    attribution = report["attribution"]
+    for category, entry in sorted(attribution.items(),
+                                  key=lambda kv: -kv[1]["ns"]):
+        p95 = (entry.get("per_txn") or {}).get("p95")
+        tail = f"{p95:>12,.1f}" if p95 is not None else f"{'-':>12}"
+        print(f"{category:<16} {entry['ns']:>14,.1f} "
+              f"{entry['share']:>7.1%} {tail}")
+    print(f"\n{'route':<24} {'txns':>6} {'p50 ns':>12} {'p95 ns':>12}"
+          f"   dominant")
+    for name, route in sorted(report["routes"].items()):
+        latency = route.get("latency_ns") or {}
+        dominant = max(route["attribution"].items(),
+                       key=lambda kv: kv[1]["ns"])
+        print(f"{name:<24} {route['transactions']:>6} "
+              f"{latency.get('p50', 0.0):>12,.1f} "
+              f"{latency.get('p95', 0.0):>12,.1f}   "
+              f"{dominant[0]} ({dominant[1]['share']:.1%})")
+    transactions = report["transactions"]
+    if args.txn is not None:
+        if not 0 <= args.txn < len(transactions):
+            print(f"error: --txn must be in [0, {len(transactions)}), "
+                  f"got {args.txn}", file=sys.stderr)
+            return 2
+        txn = transactions[args.txn]
+        print(f"\ntxn {args.txn}: {txn['kind']} via {txn['route']} "
+              f"[{txn['begin_ns']:,.1f} .. {txn['end_ns']:,.1f}] "
+              f"{txn['duration_ns']:,.1f} ns")
+        print(f"{'t0':>14} {'ns':>12} {'category':<16} site")
+        for segment in txn["critical_path"]:
+            print(f"{segment['t0']:>14,.1f} {segment['ns']:>12,.1f} "
+                  f"{segment['category']:<16} {segment['site']}")
+    print(f"\nsummary: {json.dumps(result.summary)}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """Diff two recorded payloads; exit 1 on regressions, 2 on bad input."""
+    from .telemetry.compare import (ComparisonError, compare_payloads,
+                                    load_payload)
+    try:
+        baseline = load_payload(Path(args.baseline))
+        candidate = load_payload(Path(args.candidate))
+        regressions, notes = compare_payloads(baseline, candidate,
+                                              threshold=args.threshold)
+    except ComparisonError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for note in notes:
+        print(f"note: {note}")
+    for regression in regressions:
+        print(f"REGRESSION: {regression}")
+    if regressions:
+        print(f"compare: {len(regressions)} regression(s) "
+              f"(threshold {args.threshold:.0%})")
+        return 1
+    print(f"compare: no regressions (threshold {args.threshold:.0%})")
+    return 0
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     """fcc-check: static lint and/or sanitized experiment replay."""
     # Deferred import: the analysis package is tooling, not something
@@ -288,11 +374,38 @@ def main(argv: Optional[List[str]] = None) -> int:
     metrics.add_argument("--json", action="store_true",
                          help="machine-readable snapshot "
                               "(schema-stable)")
+    why = sub.add_parser(
+        "why", help="causal critical-path latency attribution")
+    why.add_argument("--scenario", required=True, help=scenario_help)
+    why.add_argument("--txn", type=int, default=None, metavar="N",
+                     help="also print transaction N's critical-path "
+                          "waterfall")
+    why.add_argument("--sample", type=int, default=1, metavar="N",
+                     help="trace one of every N transaction roots "
+                          "(default 1: every transaction)")
+    why.add_argument("--limit", type=int, default=32,
+                     help="max transactions embedded in the report "
+                          "(default 32)")
+    why.add_argument("--interval", type=float, default=1_000.0,
+                     help="TimelineSampler cadence in sim ns "
+                          "(default 1000)")
+    why.add_argument("--json", action="store_true",
+                     help="print the full attribution document "
+                          "(schema-stable)")
+    compare = sub.add_parser(
+        "compare", help="diff two recorded payloads (BENCH or why "
+                        "JSON); non-zero exit on regression")
+    compare.add_argument("baseline", help="baseline JSON payload")
+    compare.add_argument("candidate", help="candidate JSON payload")
+    compare.add_argument("--threshold", type=float, default=0.10,
+                         help="relative regression threshold "
+                              "(default 0.10)")
     args = parser.parse_args(argv)
     handler = {"info": cmd_info, "table2": cmd_table2,
                "demo": cmd_demo, "perf": cmd_perf,
                "check": cmd_check, "trace": cmd_trace,
-               "metrics": cmd_metrics}[args.command]
+               "metrics": cmd_metrics, "why": cmd_why,
+               "compare": cmd_compare}[args.command]
     return handler(args)
 
 

@@ -141,14 +141,17 @@ class ElasticTransactionEngine:
         both through the host's memory hierarchy — so locality in
         either endpoint transparently accelerates the move.
         """
+        trace = trans.attributes.get("trace")
         for (src, dst, nbytes) in _paired_extents(trans.src_list,
                                                   trans.dst_list):
             offset = 0
             while offset < nbytes:
                 chunk = min(self.chunk_bytes, nbytes - offset)
                 yield from self.orchestrator.admit(self.host, chunk)
-                yield from self.host.mem.access(src + offset, False, chunk)
-                yield from self.host.mem.access(dst + offset, True, chunk)
+                yield from self.host.mem.access(src + offset, False, chunk,
+                                                trace=trace)
+                yield from self.host.mem.access(dst + offset, True, chunk,
+                                                trace=trace)
                 self.orchestrator.account(self.host, src + offset,
                                           dst + offset, chunk)
                 offset += chunk

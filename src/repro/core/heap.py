@@ -30,6 +30,7 @@ from typing import Dict, Generator, List, Optional, Tuple
 from .. import params
 from ..sim import Environment, Event, Resource
 from ..telemetry import span
+from ..telemetry.causal import QUEUEING
 from .etrans import ETrans
 
 __all__ = ["FreeList", "MemoryBin", "HeapObject", "SmartPointer",
@@ -225,6 +226,10 @@ class UnifiedHeap:
             self._m_allocations = registry.counter("heap.allocations")
             self._m_accesses = registry.counter("heap.accesses")
             self._m_migrations = registry.counter("heap.migrations")
+        # Causal tracing: heap accesses and migrations are transaction
+        # roots (sampled); the context then rides down through the
+        # memory hierarchy into the fabric.
+        self._causal = tel.causal if tel is not None else None
 
     # -- bins -----------------------------------------------------------------
 
@@ -303,11 +308,21 @@ class UnifiedHeap:
                 f"of {obj.size} bytes")
         if self._tel is not None:
             self._m_accesses.inc(time=self.env.now)
+        causal = self._causal
+        context = causal.sample_root() if causal is not None else None
+        if context is not None:
+            causal.txn_begin(context, self.env.now,
+                             "heap.write" if is_write else "heap.read",
+                             f"heap:{obj.bin.name}")
         with self._locks[oid].request() as grant:
+            if context is not None:
+                causal.wait(context, grant, QUEUEING, "heap.lock")
             yield grant
             self.profiler.record(oid)
             yield from self.host.mem.access(obj.addr + offset, is_write,
-                                            nbytes)
+                                            nbytes, trace=context)
+        if context is not None:
+            causal.txn_end(context, self.env.now)
 
     # -- migration -------------------------------------------------------------
 
@@ -321,14 +336,24 @@ class UnifiedHeap:
             new_addr = target_bin.freelist.allocate(obj.size)
         except HeapError:
             return False
+        causal = self._causal
+        context = causal.sample_root() if causal is not None else None
+        if context is not None:
+            causal.txn_begin(context, self.env.now, "heap.migrate",
+                             f"heap:{obj.bin.name}->{target_bin.name}")
         with span(self.env, "heap.migrate", track="heap", oid=oid,
                   nbytes=obj.size, dst=target_bin.name):
             with self._locks[oid].request() as grant:
+                if context is not None:
+                    causal.wait(context, grant, QUEUEING, "heap.lock")
                 yield grant
+                attributes = {"reason": "heap-migration"}
+                if context is not None:
+                    attributes["trace"] = context
                 trans = ETrans(src_list=[(obj.addr, obj.size)],
                                dst_list=[(new_addr, obj.size)],
                                immediate=True, ownership="caller",
-                               attributes={"reason": "heap-migration"})
+                               attributes=attributes)
                 handle = self.engine.submit(trans)
                 yield handle.wait()
                 obj.bin.freelist.free(obj.addr, obj.size)
@@ -337,6 +362,8 @@ class UnifiedHeap:
                 obj.migrations += 1
             if self._tel is not None:
                 self._m_migrations.inc(time=self.env.now)
+        if context is not None:
+            causal.txn_end(context, self.env.now)
         return True
 
 

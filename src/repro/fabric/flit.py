@@ -77,7 +77,11 @@ class Packet:
     ``src`` and ``dst`` are fabric port identifiers (PBR IDs assigned by
     the fabric manager).  ``tag`` pairs a response with its request.
     ``meta`` carries model-level annotations (ownership, QoS class...)
-    that a real fabric would encode in header bits.
+    that a real fabric would encode in header bits.  ``trace`` is the
+    causal :class:`~repro.telemetry.causal.TraceContext` riding with a
+    sampled transaction (None for untraced packets — the common case),
+    and responses inherit it so end-to-end latency attributes to one
+    trace id.
     """
 
     kind: PacketKind
@@ -89,6 +93,7 @@ class Packet:
     tag: int = 0
     birth_ns: float = 0.0
     meta: Dict[str, Any] = dataclasses.field(default_factory=dict)
+    trace: Optional[Any] = None
     uid: int = dataclasses.field(default_factory=lambda: next(_packet_counter))
 
     @property
@@ -109,7 +114,7 @@ class Packet:
         return Packet(kind=response_kind, channel=self.channel,
                       src=self.dst, dst=self.src, addr=self.addr,
                       nbytes=nbytes, tag=self.tag, birth_ns=self.birth_ns,
-                      meta=dict(self.meta))
+                      meta=dict(self.meta), trace=self.trace)
 
     def __repr__(self) -> str:
         return (f"<Packet {self.kind.value} {self.channel.value} "
@@ -124,7 +129,10 @@ class Flit:
     ``index``/``total`` locate the flit within its parent packet;
     reassembly completes when all ``total`` flits arrived.  ``flow`` is
     stamped by switches with the ingress-port flow name for per-flow
-    credit accounting.
+    credit accounting.  ``cspan`` holds the open causal span id while
+    the flit sits in a queue whose enqueue and dequeue sides are
+    different code paths (tx queue, egress scheduler); stages are
+    sequential per flit so one slot suffices.
     """
 
     packet: Packet
@@ -133,6 +141,7 @@ class Flit:
     size_bytes: int
     vc: int = 0
     flow: Optional[str] = None
+    cspan: Optional[int] = None
 
     @property
     def is_tail(self) -> bool:

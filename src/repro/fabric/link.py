@@ -22,6 +22,7 @@ from typing import Dict, Generator, List, Optional
 
 from .. import params
 from ..sim import Container, Environment, Event, SimRng, Store, Tracer
+from ..telemetry.causal import CREDIT_STALL, QUEUEING, SERIALIZATION, WIRE
 from .flit import Channel, Flit
 from .phys import PhysicalLayer
 
@@ -81,6 +82,13 @@ class LinkLayer:
         # Telemetry is cached once; every hot-path hook below is a
         # single `is None` branch when observability is off.
         self._tel = tel = env.telemetry
+        self._causal = tel.causal if tel is not None else None
+        if self._causal is not None:
+            # Sites are formatted once here, never per event.
+            self._site_txq = f"link.{name}.txq"
+            self._site_credit = f"link.{name}.credit"
+            self._site_serialize = f"link.{name}.serialize"
+            self._site_wire = f"link.{name}.wire"
         if tel is not None:
             registry = tel.registry
             self._m_flits = registry.counter(f"link.{name}.flits")
@@ -118,6 +126,11 @@ class LinkLayer:
 
     def send(self, flit: Flit) -> Event:
         """Enqueue a flit for transmission; fires when queued (not sent)."""
+        if self._causal is not None and flit.packet.trace is not None:
+            # Residency in the tx queue, closed by the sender loop when
+            # it dequeues the flit (HoL time behind earlier flits).
+            flit.cspan = self._causal.begin(
+                flit.packet.trace, self.env.now, QUEUEING, self._site_txq)
         if self.control_lane_enabled and flit.packet.channel is Channel.CONTROL:
             return self._control_queue.put(flit)
         if not 0 <= flit.vc < self.vcs:
@@ -139,12 +152,22 @@ class LinkLayer:
             yield from self._transmit_reliably(self._control_phys, flit)
             self.env.process(self._propagate(flit))
             return
-        yield self._credit_pools[flit.vc].get(1)
+        credit = self._credit_pools[flit.vc].get(1)
+        if self._causal is not None and flit.packet.trace is not None:
+            self._causal.wait(flit.packet.trace, credit, CREDIT_STALL,
+                              self._site_credit)
+        yield credit
         yield from self._transmit_reliably(self.phys, flit)
         self.env.process(self._propagate(flit))
 
     def _propagate(self, flit: Flit) -> Generator[Event, None, None]:
+        wire = None
+        if self._causal is not None and flit.packet.trace is not None:
+            wire = self._causal.begin(flit.packet.trace, self.env.now,
+                                      WIRE, self._site_wire)
         yield self.env.timeout(self.params.propagation_ns)
+        if wire is not None:
+            self._causal.end(flit.packet.trace, self.env.now, wire)
         self._deliver(flit)
 
     # -- credit management (exposed to allocators / the arbiter) ----------
@@ -188,20 +211,38 @@ class LinkLayer:
     def _sender(self, vc: int) -> Generator[Event, None, None]:
         queue = self._tx_queues[vc]
         pool = self._credit_pools[vc]
+        causal = self._causal
         while True:
             flit = yield queue.get()
-            yield pool.get(1)
+            if causal is not None and flit.cspan is not None:
+                causal.end(flit.packet.trace, self.env.now, flit.cspan)
+                flit.cspan = None
+            credit = pool.get(1)
+            if causal is not None and flit.packet.trace is not None:
+                causal.wait(flit.packet.trace, credit, CREDIT_STALL,
+                            self._site_credit)
+            yield credit
             yield from self._transmit_reliably(self.phys, flit)
             self.env.process(self._propagate(flit))
 
     def _control_sender(self) -> Generator[Event, None, None]:
+        causal = self._causal
         while True:
             flit = yield self._control_queue.get()
+            if causal is not None and flit.cspan is not None:
+                causal.end(flit.packet.trace, self.env.now, flit.cspan)
+                flit.cspan = None
             yield from self._transmit_reliably(self._control_phys, flit)
             self.env.process(self._propagate(flit))
 
     def _transmit_reliably(self, phys: PhysicalLayer,
                            flit: Flit) -> Generator[Event, None, None]:
+        serialize = None
+        if self._causal is not None and flit.packet.trace is not None:
+            # Retries included: NAK round-trips are serialization cost.
+            serialize = self._causal.begin(
+                flit.packet.trace, self.env.now, SERIALIZATION,
+                self._site_serialize)
         while True:
             yield from phys.serialize(flit)
             if self.error_rate and self.rng.bernoulli(self.error_rate):
@@ -218,6 +259,9 @@ class LinkLayer:
                 now = self.env.now
                 self._m_flits.inc(time=now)
                 self._m_bytes.inc(flit.size_bytes, time=now)
+            if serialize is not None:
+                self._causal.end(flit.packet.trace, self.env.now,
+                                 serialize)
             return
 
     def _deliver(self, flit: Flit) -> None:

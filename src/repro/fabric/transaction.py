@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Generator, Optional
 
 from ..sim import Environment, Event, SimulationError, Store, Tracer
+from ..telemetry.causal import QUEUEING
 from .flit import (
     Channel,
     Flit,
@@ -70,6 +71,19 @@ class TransactionPort:
         self.requests_sent = 0
         self.responses_received = 0
         self.orphan_responses = 0
+        # Causal tracing: ports are where fabric transactions *root* —
+        # a request arriving with no trace context asks the recorder
+        # to sample one.  Cached like telemetry: one is-None branch
+        # per request when tracing is off.
+        tel = env.telemetry
+        self._tel = tel
+        self._causal = tel.causal if tel is not None else None
+        if tel is not None:
+            self._h_latency = tel.registry.histogram(
+                f"port.{name}.request_ns")
+        if self._causal is not None:
+            self._site_tags = f"port.{name}.tags"
+            self._route_prefix = f"{name}:"
         env.process(self._receiver(), name=f"{name}.rx", daemon=True)
 
     # -- sending -----------------------------------------------------------
@@ -81,9 +95,26 @@ class TransactionPort:
         """
         if packet.kind not in REQUEST_KINDS:
             raise ValueError(f"{packet.kind} is not a request kind")
+        causal = self._causal
+        rooted = False
+        if causal is not None and packet.trace is None:
+            context = causal.sample_root()
+            if context is not None:
+                packet.trace = context
+                rooted = True
+                causal.txn_begin(context, self.env.now, packet.kind.value,
+                                 self._route_prefix + packet.kind.value)
+        issued = self.env.now
+        tag_wait = None
+        if causal is not None and packet.trace is not None \
+                and not self.tags.available:
+            tag_wait = causal.begin(packet.trace, self.env.now,
+                                    QUEUEING, self._site_tags)
         while not self.tags.available:
             # Outstanding-request window full: wait for any completion.
             yield self.env.any_of(list(self._pending.values()))
+        if tag_wait is not None:
+            causal.end(packet.trace, self.env.now, tag_wait)
         packet.tag = self.tags.allocate()
         packet.src = self.port_id
         packet.birth_ns = self.env.now
@@ -92,6 +123,11 @@ class TransactionPort:
         yield from self._emit(packet)
         self.requests_sent += 1
         response = yield done
+        now = self.env.now
+        if self._tel is not None:
+            self._h_latency.observe(now - issued, time=now)
+        if rooted:
+            causal.txn_end(packet.trace, now)
         return response
 
     def post(self, packet: Packet) -> Generator[Event, None, None]:
@@ -155,6 +191,9 @@ class TransactionPort:
         if waiter is not None:
             self.tags.free(packet.tag)
             self.responses_received += 1
+            if self._causal is not None and packet.trace is not None:
+                self._causal.mark(packet.trace, self.env.now,
+                                  "deliver", self.name)
             waiter.succeed(packet)
             return
         if packet.kind in REQUEST_KINDS:

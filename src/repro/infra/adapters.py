@@ -56,13 +56,13 @@ class FabricHostAdapter:
     def remote_backend(self, device_id: int):
         """Backend callable for one remote region (device ``device_id``)."""
 
-        def backend(addr: int, nbytes: int,
-                    is_write: bool) -> Generator[Event, None, None]:
+        def backend(addr: int, nbytes: int, is_write: bool,
+                    trace=None) -> Generator[Event, None, None]:
             yield self.env.timeout(self.processing_ns)
             kind = PacketKind.MEM_WR if is_write else PacketKind.MEM_RD
             packet = Packet(kind=kind, channel=Channel.CXL_MEM,
                             src=self.port.port_id, dst=device_id,
-                            addr=addr, nbytes=nbytes)
+                            addr=addr, nbytes=nbytes, trace=trace)
             response = yield from self.port.request(packet)
             if response.meta.get("fault"):
                 raise PermissionError(

@@ -24,6 +24,8 @@ from .cache import CacheConfig, SetAssociativeCache, VictimBuffer
 __all__ = ["AddressMap", "Region", "HostMemorySystem", "default_cache_configs"]
 
 #: backend signature: (addr, nbytes, is_write) -> generator charging time
+#: (backends may additionally accept a keyword-only ``trace`` causal
+#: context; plain three-argument backends keep working unchanged)
 Backend = Callable[[int, int, bool], Generator[Event, None, None]]
 
 
@@ -125,9 +127,14 @@ class HostMemorySystem:
     # -- the access path -----------------------------------------------------
 
     def access(self, addr: int, is_write: bool = False,
-               nbytes: int = params.CACHELINE_BYTES
-               ) -> Generator[Event, None, str]:
-        """One load/store; returns the level that served it."""
+               nbytes: int = params.CACHELINE_BYTES,
+               trace=None) -> Generator[Event, None, str]:
+        """One load/store; returns the level that served it.
+
+        ``trace`` is an optional causal trace context; it is forwarded
+        to trace-aware backends so a heap-rooted transaction keeps its
+        identity down into the fabric.
+        """
         self.accesses += 1
         way_class = None
         if self._partitioned_regions:
@@ -154,7 +161,18 @@ class HostMemorySystem:
             self.backend_hits["remote"] += 1
         else:
             self.backend_hits["local"] += 1
-        yield from region.backend(addr - region.start, nbytes, is_write)
+        if trace is None:
+            yield from region.backend(addr - region.start, nbytes, is_write)
+        else:
+            try:
+                chain = region.backend(addr - region.start, nbytes,
+                                       is_write, trace=trace)
+            except TypeError:
+                # A plain three-argument backend (flat latency models,
+                # test doubles): run it untraced.
+                chain = region.backend(addr - region.start, nbytes,
+                                       is_write)
+            yield from chain
         return "remote" if region.is_remote else "local"
 
     def _handle_eviction(self, line_addr: Optional[int]) -> None:

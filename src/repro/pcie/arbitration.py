@@ -25,6 +25,7 @@ import itertools
 from typing import Dict, Generator, Hashable, Optional, Tuple
 
 from ..sim import Environment, Event, Store
+from ..telemetry.causal import ARBITRATION, QUEUEING
 
 __all__ = ["EgressScheduler", "FifoScheduler", "FairVcScheduler",
            "PriorityScheduler", "make_scheduler"]
@@ -51,17 +52,40 @@ class EgressScheduler:
         self._seq = itertools.count()
         self._arrival: Optional[Event] = None
         self.enqueued = 0
+        # Causal tracing (cached, one is-None branch when off).  The
+        # switch stamps `site` at attach time; `_head_ts` remembers,
+        # per queue, when its current head reached the head — the
+        # boundary between time-in-queue (queueing) and time-at-head
+        # losing grants (arbitration).  Maintained only on traced runs.
+        tel = env.telemetry
+        self._causal = tel.causal if tel is not None else None
+        self.site = "sched"
+        self._head_ts: Dict[Hashable, float] = {}
 
     def push(self, flit) -> Event:
         """Stage a flit; the event fires once its queue had space."""
         self.enqueued += 1
         entry = (self._key(flit), next(self._seq), flit)
-        queue = self._queues.get(self._queue_id(flit))
+        queue_id = self._queue_id(flit)
+        queue = self._queues.get(queue_id)
         if queue is None:
             queue = Store(self.env, capacity=self.capacity)
-            self._queues[self._queue_id(flit)] = queue
+            self._queues[queue_id] = queue
         put_event = queue.put(entry)
         put_event.callbacks.append(self._notify_arrival)
+        if self._causal is not None:
+            trace = flit.packet.trace
+
+            def _staged(event, self=self, queue=queue, queue_id=queue_id,
+                        flit=flit, trace=trace):
+                now = event.env.now
+                if len(queue.items) == 1:
+                    self._head_ts[queue_id] = now
+                if trace is not None:
+                    flit.cspan = self._causal.begin(trace, now, QUEUEING,
+                                                    self.site)
+
+            put_event.callbacks.append(_staged)
         return put_event
 
     def pop(self) -> Generator[Event, None, object]:
@@ -69,19 +93,43 @@ class EgressScheduler:
         while True:
             best_queue = None
             best_entry = None
-            for queue in self._queues.values():
+            best_id = None
+            for queue_id, queue in self._queues.items():
                 if not queue.items:
                     continue
                 head = queue.items[0]
                 if best_entry is None or head[:2] < best_entry[:2]:
                     best_queue, best_entry = queue, head
+                    best_id = queue_id
             if best_queue is not None:
                 entry = yield best_queue.get()
                 self._on_pop(entry)
+                if self._causal is not None:
+                    self._record_grant(best_id, entry[2])
                 return entry[2]
             self._arrival = self.env.event()
             yield self._arrival
             self._arrival = None
+
+    def _record_grant(self, queue_id: Hashable, flit) -> None:
+        """Split a traced flit's scheduler time at the head boundary."""
+        now = self.env.now
+        head_since = min(self._head_ts.get(queue_id, now), now)
+        self._head_ts[queue_id] = now    # the next head starts aging
+        trace = flit.packet.trace
+        if trace is None:
+            return
+        causal = self._causal
+        if flit.cspan is not None:
+            # Queue residency ends when the flit reached the head; the
+            # analyzer clamps if the head estimate predates the enqueue
+            # (possible only across same-instant callback orderings).
+            causal.end(trace, head_since, flit.cspan)
+            flit.cspan = None
+        if now - head_since > 0.0:
+            causal.interval(trace, head_since, now, ARBITRATION,
+                            self.site)
+        causal.mark(trace, now, "arb.grant", self.site)
 
     def __len__(self) -> int:
         return sum(len(q) for q in self._queues.values())

@@ -21,6 +21,7 @@ from typing import Dict, Generator, List, Optional
 
 from .. import params
 from ..sim import Container, Environment, Event, Tracer
+from ..telemetry.causal import CREDIT_STALL
 
 __all__ = ["CreditDomain", "CreditPolicy", "RampUpPolicy",
            "StaticEqualPolicy", "ReservationPolicy"]
@@ -167,6 +168,11 @@ class CreditDomain:
         if tel is not None:
             self._track = f"credits.{name}"
             self._m_stalls = tel.registry.counter(f"credits.{name}.stalls")
+        # Causal tracing: a blocked acquire is the credit_stall the
+        # starvation scenario attributes victim latency to.  Per-flow
+        # site strings are built once, at register time.
+        self._causal = tel.causal if tel is not None else None
+        self._causal_sites: Dict[str, str] = {}
 
     # -- flow registry -----------------------------------------------------
 
@@ -181,6 +187,8 @@ class CreditDomain:
         self._retire_debt[flow] = 0
         self._pending_gets[flow] = []
         self._order.append(flow)
+        if self._causal is not None:
+            self._causal_sites[flow] = f"credits.{self.name}.{flow}"
         if self._tel is not None:
             pool = self._pools[flow]
             self._tel.add_probe(f"credits.{self.name}.{flow}.available",
@@ -204,8 +212,14 @@ class CreditDomain:
 
     # -- data path ----------------------------------------------------------
 
-    def acquire(self, flow: str) -> Event:
-        """Take one credit for ``flow`` (blocks while its pool is dry)."""
+    def acquire(self, flow: str, trace=None) -> Event:
+        """Take one credit for ``flow`` (blocks while its pool is dry).
+
+        ``trace`` is an optional causal
+        :class:`~repro.telemetry.causal.TraceContext`; a blocked
+        acquire then records a ``credit_stall`` interval closing the
+        instant the credit is granted.
+        """
         self._consumed[flow] += 1
         event = self._pools[flow].get(1)
         if self._tel is not None and not event.triggered:
@@ -213,6 +227,9 @@ class CreditDomain:
             # timeline scenarios visualize.
             self._m_stalls.inc(time=self.env.now)
             self._tel.instant("credits.stall", track=self._track, flow=flow)
+        if self._causal is not None and trace is not None:
+            self._causal.wait(trace, event, CREDIT_STALL,
+                              self._causal_sites[flow])
         if self._san is not None:
             if event.triggered:
                 self._in_flight[flow] += 1

@@ -30,6 +30,7 @@ from .. import params
 from ..fabric.flit import Flit
 from ..fabric.link import LinkLayer
 from ..sim import Environment, Event, Resource, Tracer
+from ..telemetry.causal import QUEUEING
 from .arbitration import EgressScheduler, make_scheduler
 from .credits import CreditDomain
 from .routing import PbrId, RoutingTable
@@ -55,6 +56,7 @@ class SwitchPort:
     flits_in: int = 0
     flits_out: int = 0
     pending: int = 0      # flits routed here but not yet on the wire
+    buffer_site: str = "" # causal site label for ingress-buffer waits
 
 
 class FabricSwitch:
@@ -85,6 +87,7 @@ class FabricSwitch:
         # Cached telemetry: the per-flit hooks below are one is-None
         # branch when observability is off.
         self._tel = tel = env.telemetry
+        self._causal = tel.causal if tel is not None else None
         if tel is not None:
             registry = tel.registry
             self._m_forwarded = registry.counter(f"pcie.{name}.flits_forwarded")
@@ -108,6 +111,9 @@ class FabricSwitch:
             scheduler=make_scheduler(self.scheduler_kind, self.env,
                                      capacity=self.scheduler_capacity),
             peer=peer)
+        if self._causal is not None:
+            port.buffer_site = f"pcie.{self.name}.in{index}.buffer"
+            port.scheduler.site = f"pcie.{self.name}.p{index}.egress"
         self.ports[index] = port
         if self._tel is not None:
             # The issue-shaped hierarchical names: queue_depth counts
@@ -139,6 +145,11 @@ class FabricSwitch:
         while True:
             flit: Flit = yield port.in_link.rx.get()
             request = slots.request()
+            if self._causal is not None and flit.packet.trace is not None:
+                # Waiting for switch buffering while still holding the
+                # upstream credit — the C7 back-propagation stage.
+                self._causal.wait(flit.packet.trace, request, QUEUEING,
+                                  port.buffer_site)
             yield request
             # Credit returns upstream only once the flit found switch
             # buffering; a full switch therefore stalls the upstream
@@ -170,8 +181,14 @@ class FabricSwitch:
         if domain is not None:
             if flit.flow not in domain.flow_names():
                 domain.register(flit.flow)
-            yield domain.acquire(flit.flow)
-        yield egress.scheduler.push(flit)
+            yield domain.acquire(flit.flow, trace=flit.packet.trace)
+        push = egress.scheduler.push(flit)
+        if self._causal is not None and flit.packet.trace is not None:
+            # Blocked at a full staging queue: still queueing, charged
+            # to the egress scheduler's site.
+            self._causal.wait(flit.packet.trace, push, QUEUEING,
+                              egress.scheduler.site)
+        yield push
         slots.release(request)
 
     def _route(self, flit: Flit) -> int:

@@ -29,20 +29,33 @@ the exact pattern of ``Environment(sanitize=True)``; a telemetry-on
 run is scheduling-identical to a telemetry-off run.
 """
 
+from .attribution import (
+    AttributionError,
+    TDigest,
+    build_report,
+    validate_attribution,
+)
+from .causal import CausalRecorder, TraceContext
 from .core import Telemetry, span
 from .metrics import Counter, Gauge, Histogram, MetricRegistry
 from .perfetto import ChromeTraceError, to_chrome_trace, validate_chrome_trace
 from .sampler import TimelineSampler
 
 __all__ = [
+    "AttributionError",
+    "CausalRecorder",
     "ChromeTraceError",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricRegistry",
+    "TDigest",
     "Telemetry",
     "TimelineSampler",
+    "TraceContext",
+    "build_report",
     "span",
     "to_chrome_trace",
     "validate_chrome_trace",
+    "validate_attribution",
 ]

@@ -1,0 +1,188 @@
+"""Causal transaction tracing: trace contexts + the flight recorder.
+
+PR 3's telemetry answers *aggregate* questions (how deep was the
+queue, how often did a flow stall).  This module answers the paper's
+§3 question for one operation: *where did this access's latency go?*
+Every traced transaction carries a :class:`TraceContext` (trace id +
+parent span id) on its :class:`~repro.fabric.flit.Packet`; every
+instrumented stage — heap lock, movement queue, switch buffer, credit
+pool, egress scheduler, link serializer, the wire — records typed
+causal events into a bounded flight recorder as the transaction
+crosses it.  The offline analyzer
+(:mod:`repro.telemetry.attribution`) rebuilds per-transaction DAGs
+from those events, extracts the critical path, and buckets every
+nanosecond into one of the :data:`CATEGORIES`.
+
+Determinism contract (the same one telemetry and sanitize honor):
+
+* tracing **off** costs instrumented hot paths one ``is None`` branch
+  (components cache ``telemetry.causal`` at construction);
+* tracing **on** never yields, never creates events, and never touches
+  model resources — it only *appends tuples* and *observes* existing
+  events, so scheduling is bit-identical on/off;
+* sampling (``sample=N`` keeps 1-in-N transaction roots) decides at
+  root-creation time; an unsampled transaction carries ``trace=None``
+  and costs nothing downstream.
+
+Recording a wait without perturbing the kernel: :meth:`wait` appends a
+plain callable to the blocked event's ``callbacks`` list.  Callbacks
+fire when the event is *processed* — i.e. at the simulated instant the
+wait ends — and appending one neither reorders the event queue nor
+changes which waiters the event wakes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+__all__ = ["TraceContext", "CausalRecorder", "CATEGORIES",
+           "CREDIT_STALL", "QUEUEING", "ARBITRATION", "SERIALIZATION",
+           "WIRE", "PROCESSING"]
+
+#: Attribution categories, highest precedence first.  When several
+#: typed intervals overlap on a transaction's critical path the
+#: highest-precedence one claims the time (being blocked on a credit
+#: *is* the root cause even while the flit also sits in a queue);
+#: time covered by no interval is the model doing work: processing.
+CREDIT_STALL = "credit_stall"
+ARBITRATION = "arbitration"
+QUEUEING = "queueing"
+SERIALIZATION = "serialization"
+WIRE = "wire"
+PROCESSING = "processing"
+
+CATEGORIES: Tuple[str, ...] = (CREDIT_STALL, ARBITRATION, QUEUEING,
+                               SERIALIZATION, WIRE, PROCESSING)
+
+#: Flight-recorder tuples (flat, like ``Telemetry.events``):
+#:   ("T", ts, tid, kind, route)                 transaction begin
+#:   ("F", ts, tid)                              transaction finish
+#:   ("B", ts, tid, sid, parent, category, site) interval begin
+#:   ("E", ts, tid, sid)                         interval end
+#:   ("M", ts, tid, name, site)                  point event (grant,
+#:                                               deliver)
+_TXN, _FIN, _BEGIN, _END, _MARK = "T", "F", "B", "E", "M"
+
+#: Default flight-recorder capacity (events, not transactions).
+DEFAULT_CAPACITY = 1 << 18
+
+
+class TraceContext:
+    """What a traced packet carries: its trace id and parent span."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: int, span_id: int = 0) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def __repr__(self) -> str:
+        return f"<TraceContext trace={self.trace_id} span={self.span_id}>"
+
+
+class CausalRecorder:
+    """Bounded flight recorder of typed causal events.
+
+    Attach one via ``Telemetry(causal=CausalRecorder(...))``; the
+    components that propagate trace contexts cache it at construction
+    exactly like they cache the telemetry hub.  Old events fall off the
+    front when ``capacity`` is exceeded (the analyzer simply skips
+    transactions whose begin was evicted).
+    """
+
+    def __init__(self, sample: int = 1,
+                 capacity: int = DEFAULT_CAPACITY) -> None:
+        if sample < 1:
+            raise ValueError(f"sample must be >= 1, got {sample}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sample = sample
+        self.capacity = capacity
+        self.events: Deque[Tuple] = deque(maxlen=capacity)
+        self.started = 0
+        self.finished = 0
+        self.roots_seen = 0
+        self._next_trace = 0
+        self._next_span = 0
+
+    # -- roots -----------------------------------------------------------
+
+    def sample_root(self) -> Optional[TraceContext]:
+        """A fresh context for 1-in-``sample`` root call sites.
+
+        Returns ``None`` for the unsampled majority — the caller
+        leaves ``packet.trace`` unset and the transaction costs
+        nothing further.
+        """
+        self.roots_seen += 1
+        if (self.roots_seen - 1) % self.sample:
+            return None
+        self._next_trace += 1
+        return TraceContext(self._next_trace)
+
+    def txn_begin(self, ctx: TraceContext, ts: float, kind: str,
+                  route: str) -> None:
+        self.started += 1
+        self.events.append((_TXN, ts, ctx.trace_id, kind, route))
+
+    def txn_end(self, ctx: TraceContext, ts: float) -> None:
+        self.finished += 1
+        self.events.append((_FIN, ts, ctx.trace_id))
+
+    # -- intervals -------------------------------------------------------
+
+    def begin(self, ctx: TraceContext, ts: float, category: str,
+              site: str) -> int:
+        """Open an interval; returns the span id to close it with."""
+        self._next_span += 1
+        sid = self._next_span
+        self.events.append((_BEGIN, ts, ctx.trace_id, sid,
+                            ctx.span_id, category, site))
+        return sid
+
+    def end(self, ctx: TraceContext, ts: float, sid: int) -> None:
+        self.events.append((_END, ts, ctx.trace_id, sid))
+
+    def interval(self, ctx: TraceContext, t0: float, t1: float,
+                 category: str, site: str) -> None:
+        """Record a closed interval retroactively (both edges known)."""
+        sid = self.begin(ctx, t0, category, site)
+        self.events.append((_END, t1, ctx.trace_id, sid))
+
+    def mark(self, ctx: TraceContext, ts: float, name: str,
+             site: str) -> None:
+        self.events.append((_MARK, ts, ctx.trace_id, name, site))
+
+    # -- waits on kernel events ------------------------------------------
+
+    def wait(self, ctx: TraceContext, event, category: str,
+             site: str) -> None:
+        """Record the blocking portion of a wait on ``event``.
+
+        Already-triggered events (a ``Container.get`` served from a
+        non-empty pool, a free ``Resource`` slot) record nothing: the
+        wait is zero.  For a genuinely blocked event the interval opens
+        now and closes from a callback when the event is processed —
+        the exact simulated instant the grant happened.
+        """
+        if event.triggered or event.callbacks is None:
+            return
+        sid = self.begin(ctx, event.env.now, category, site)
+        tid = ctx.trace_id
+        events = self.events
+
+        def _close(ev, events=events, tid=tid, sid=sid):
+            events.append((_END, ev.env.now, tid, sid))
+
+        event.callbacks.append(_close)
+
+    # -- inspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def saturated(self) -> bool:
+        """Ring is at capacity: the oldest events may have dropped."""
+        return len(self.events) == self.capacity

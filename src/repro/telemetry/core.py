@@ -90,8 +90,13 @@ class Telemetry:
     environment — timestamps come from that environment's clock.
     """
 
-    def __init__(self, registry: Optional[MetricRegistry] = None) -> None:
+    def __init__(self, registry: Optional[MetricRegistry] = None,
+                 causal=None) -> None:
         self.registry = registry if registry is not None else MetricRegistry()
+        #: Optional :class:`~repro.telemetry.causal.CausalRecorder`.
+        #: Components cache it at construction next to the hub itself;
+        #: None (the default) keeps causal hooks at one is-None branch.
+        self.causal = causal
         self.events: List[Tuple] = []
         self._env = None
         self._tracks: Dict[str, int] = {}

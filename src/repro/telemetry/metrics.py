@@ -137,10 +137,16 @@ class Histogram:
         return float(self.maximum)
 
     def to_dict(self) -> Dict[str, Any]:
+        # p50/p95/p99 ride along so EXPERIMENTS.md numbers come
+        # straight from `repro metrics --json` (bucket upper bounds,
+        # the same ±2x grain as the buckets themselves).
         return {"kind": self.kind, "count": self.count,
                 "sum": self.total,
                 "mean": self.total / self.count if self.count else None,
                 "min": self.minimum, "max": self.maximum,
+                "p50": self.quantile(0.50) if self.count else None,
+                "p95": self.quantile(0.95) if self.count else None,
+                "p99": self.quantile(0.99) if self.count else None,
                 "buckets": [{"low": low, "high": high, "count": n}
                             for low, high, n in self.buckets()],
                 "last_time": self.last_time}

@@ -32,6 +32,8 @@ from ..infra import ClusterSpec, build_cluster
 from ..pcie import FabricManager, PortRole, Topology
 from ..pcie.credits import CreditDomain, RampUpPolicy
 from ..sim import Environment, run_proc
+from .attribution import build_report
+from .causal import SERIALIZATION, CausalRecorder
 from .core import Telemetry, span
 from .sampler import DEFAULT_INTERVAL_NS, TimelineSampler
 
@@ -60,6 +62,20 @@ class ScenarioResult:
         snapshot["scenario"] = self.name
         snapshot["summary"] = self.summary
         return snapshot
+
+    @property
+    def causal(self) -> Optional[CausalRecorder]:
+        return self.telemetry.causal if self.telemetry is not None else None
+
+    def attribution_report(self,
+                           max_transactions: int = 32) -> Dict[str, Any]:
+        """The ``repro why`` payload: critical paths + latency buckets."""
+        if self.causal is None:
+            raise ValueError(
+                f"scenario {self.name!r} ran without causal tracing; "
+                f"re-run with causal=True")
+        return build_report(self.name, self.causal, summary=self.summary,
+                            max_transactions=max_transactions)
 
 
 # --------------------------------------------------------------------------
@@ -120,16 +136,30 @@ def _build_starvation(env: Environment) -> Dict[str, Any]:
     domain.register("quiet")
     domain.start()
     stalled: Dict[str, float] = {"hot": 0.0, "quiet": 0.0}
+    tel = env.telemetry
+    causal = tel.causal if tel is not None else None
+    site_serialize = "egress0.serialize"
 
     def worker(flow: str, remaining):
         # One of _WINDOW pipelined issuers: the concurrency is what
-        # makes a floor-sized grant visibly starve the flow.
+        # makes a floor-sized grant visibly starve the flow.  On causal
+        # runs each flit is a sampled transaction root: route = flow,
+        # credit waits recorded by the domain, serialization by us.
         while remaining[0] > 0:
             remaining[0] -= 1
+            context = causal.sample_root() if causal is not None else None
+            if context is not None:
+                causal.txn_begin(context, env.now, "flit", flow)
             start = env.now
-            yield domain.acquire(flow)
+            yield domain.acquire(flow, trace=context)
             stalled[flow] += env.now - start
+            if context is not None:
+                serialize = causal.begin(context, env.now, SERIALIZATION,
+                                         site_serialize)
             yield env.timeout(_SERIALIZE_NS)
+            if context is not None:
+                causal.end(context, env.now, serialize)
+                causal.txn_end(context, env.now)
             domain.release(flow)
 
     def run_flow(flow: str, flits: int):
@@ -238,11 +268,16 @@ def scenario_names():
 
 def run_scenario(name: str,
                  interval_ns: float = DEFAULT_INTERVAL_NS,
-                 telemetry: bool = True) -> ScenarioResult:
+                 telemetry: bool = True,
+                 causal: bool = False,
+                 causal_sample: int = 1) -> ScenarioResult:
     """Run one canonical scenario; raises ValueError on unknown names.
 
     With ``telemetry=False`` the identical model runs bare — the
     bit-identity test and the overhead benchmark both lean on this.
+    With ``causal=True`` a :class:`CausalRecorder` rides along (one
+    transaction root per ``causal_sample`` candidates); recording never
+    touches the event queue, so summaries stay bit-identical either way.
     """
     try:
         build = TELEMETRY_SCENARIOS[name]
@@ -250,7 +285,12 @@ def run_scenario(name: str,
         raise ValueError(
             f"unknown scenario {name!r}; choose from "
             f"{', '.join(scenario_names())}") from None
-    env = Environment(telemetry=telemetry)
+    if causal and not telemetry:
+        raise ValueError("causal tracing needs telemetry=True")
+    instance: Any = telemetry
+    if causal:
+        instance = Telemetry(causal=CausalRecorder(sample=causal_sample))
+    env = Environment(telemetry=instance)
     if env.telemetry is not None:
         TimelineSampler(env, interval_ns=interval_ns).start()
     summary = build(env)

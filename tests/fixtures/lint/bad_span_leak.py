@@ -1,0 +1,16 @@
+"""Fixture: span context managers created but never entered (FCC007)."""
+
+
+def timed_phase(env, telemetry):
+    span(env, "phase.compute", track="app")
+    leaked = telemetry.span("phase.flush", track="app")
+    return leaked
+
+
+def proper_usage(env, telemetry, stack):
+    with span(env, "phase.ok", track="app"):
+        pass
+    deferred = telemetry.span("phase.deferred", track="app")
+    with deferred:
+        pass
+    stack.enter_context(telemetry.span("phase.stacked", track="app"))

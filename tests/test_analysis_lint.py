@@ -18,6 +18,7 @@ RULE_FIXTURES = [
     ("FCC004", "bad_mutable.py"),
     ("FCC005", "bad_unordered.py"),
     ("FCC006", "bad_eager_format.py"),
+    ("FCC007", "bad_span_leak.py"),
 ]
 
 
