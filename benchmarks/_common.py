@@ -8,35 +8,19 @@ Every benchmark file reproduces one table/figure/claim from the paper
   ``benchmark.extra_info`` and printed by each module's ``main()``;
 * every module is runnable directly (``python benchmarks/bench_x.py``)
   and prints the paper-format rows.
+
+The table formatter lives in :mod:`repro.experiments.format` (the
+experiment registry renders the same tables); ``fmt_row`` and
+``print_table`` are re-exported here so pre-registry benchmark code
+keeps importing from one place.
 """
 
 from __future__ import annotations
 
-from typing import Any, List, Optional
-
+from repro.experiments.format import fmt_row, print_table  # noqa: F401
 from repro.sim import run_proc  # noqa: F401  (canonical home: repro.sim)
 
-__all__ = ["run_proc", "fmt_row", "print_table"]
-
-
-def fmt_row(columns: List[Any], widths: List[int]) -> str:
-    cells = []
-    for value, width in zip(columns, widths):
-        if isinstance(value, float):
-            cells.append(f"{value:>{width}.1f}")
-        else:
-            cells.append(f"{value!s:>{width}}")
-    return "  ".join(cells)
-
-
-def print_table(title: str, header: List[str], rows: List[List[Any]],
-                widths: Optional[List[int]] = None) -> None:
-    widths = widths or [max(12, len(h)) for h in header]
-    print(f"\n=== {title} ===")
-    print(fmt_row(header, widths))
-    print("-" * (sum(widths) + 2 * len(widths)))
-    for row in rows:
-        print(fmt_row(row, widths))
+__all__ = ["run_proc", "fmt_row", "print_table", "memoize"]
 
 
 def memoize(fn):

@@ -1,144 +1,28 @@
 """Experiment CS: the section 5 case study — MIMO baseband over UniFabric.
 
 The paper walks through porting a software massive-MIMO engine (Agora)
-onto UniFabric: move the data objects (symbol frames, channel-state
-matrices) into the unified heap, pick a backend execution engine per
-kernel, encapsulate kernels as idempotent tasks / cooperative
-functions, and replace async communication with elastic transactions.
-
-We run the *real* uplink DSP once (numpy) to get the per-kernel FLOP
-counts and verify bit-exact decoding, then evaluate three deployments
-of the same pipeline on the simulated rack:
-
-* **all-local** — frames land in host DRAM, kernels run on the host
-  core (the monolithic appliance the paper wants to disaggregate);
-* **naive-remote** — frames live in fabric memory; every kernel does
-  synchronous remote loads/stores (porting without rethinking layout);
-* **unifabric** — frames live in the unified heap; an elastic
-  transaction stages each frame locally while the previous frame
-  computes; kernels run as FAA scalable functions (modest accelerator
-  speedup), following the case study's steps.
+onto UniFabric.  We run the *real* uplink DSP once (numpy) to get the
+per-kernel FLOP counts and verify bit-exact decoding, then evaluate
+three deployments of the same pipeline on the simulated rack
+(all-local, naive-remote, unifabric).  The builder lives in
+:mod:`repro.experiments.defs.mimo` (experiment ``case_study_mimo``);
+this script is its benchmark/CLI wrapper.
 """
 
 from __future__ import annotations
 
 import sys
-from typing import Dict, List
+from typing import Dict
 
-import numpy as np
-
-from repro.core import ETrans, MovementOrchestrator
-from repro.infra import ClusterSpec, FaaSpec, build_cluster
-from repro.sim import Environment
-from repro.workloads.mimo import (
-    KERNEL_ORDER,
-    MimoChannel,
-    MimoConfig,
-    UplinkPipeline,
-    flops_to_ns,
-    make_frame,
-)
+from repro.experiments import render, run_summary
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import memoize, print_table, run_proc
-
-FRAMES = 8
-FAA_SPEEDUP = 4.0        # an FAA runs a DSP kernel ~4x a host core
-CHUNK = 4096
-
-
-def stage_bytes(config: MimoConfig) -> Dict[str, tuple]:
-    """(input_bytes, output_bytes) per kernel."""
-    s, a, u, d = (config.subcarriers, config.antennas, config.users,
-                  config.data_symbols)
-    frame = config.frame_bytes
-    h = s * a * u * 16
-    eq = s * u * d * 16
-    coded_bytes = (2 * s * u * d) // 8
-    return {
-        "fft": (frame, frame),
-        "channel_estimate": (s * a * u * 16, h),
-        "equalize": (frame + h, eq),
-        "demodulate": (eq, coded_bytes),
-        "decode": (coded_bytes, coded_bytes // 3),
-    }
-
-
-def kernel_flops(config: MimoConfig) -> Dict[str, float]:
-    """Run the real DSP once; returns per-kernel FLOPs (and checks BER)."""
-    channel = MimoChannel(config)
-    pipeline = UplinkPipeline(config)
-    rng = np.random.default_rng(0)
-    payload = rng.integers(0, 2,
-                           size=config.bits_per_frame // 3).astype(np.int8)
-    frame = make_frame(config, channel, payload, pipeline.pilot)
-    decoded, flops = pipeline.process(frame)
-    assert np.array_equal(decoded[:payload.size], payload), \
-        "uplink DSP must decode bit-exactly at this SNR"
-    return flops
-
-
-def run_deployment(mode: str, config: MimoConfig,
-                   flops: Dict[str, float]) -> float:
-    """Total time to process FRAMES frames; returns per-frame ns."""
-    env = Environment()
-    cluster = build_cluster(env, ClusterSpec(
-        hosts=1, faas=[FaaSpec(name="faa0")]))
-    host = cluster.host(0)
-    engine = MovementOrchestrator(env).attach_host(host)
-    remote_base = host.remote_base("fam0")
-    local_base = 8 << 20
-    sizes = stage_bytes(config)
-    speedup = FAA_SPEEDUP if mode == "unifabric" else 1.0
-
-    def touch(base, nbytes, is_write):
-        offset = 0
-        while offset < nbytes:
-            chunk = min(CHUNK, nbytes - offset)
-            yield from host.mem.access(base + offset, is_write, chunk)
-            offset += chunk
-
-    def process_frame(data_base):
-        scratch = data_base + (2 << 20)
-        for kernel in KERNEL_ORDER:
-            in_bytes, out_bytes = sizes[kernel]
-            yield from touch(data_base, in_bytes, False)
-            yield env.timeout(flops_to_ns(flops[kernel], speedup))
-            yield from touch(scratch, out_bytes, True)
-
-    def go():
-        start = env.now
-        staged = None
-        for frame_index in range(FRAMES):
-            frame_offset = frame_index * (4 << 20)
-            if mode == "all-local":
-                yield from process_frame(local_base + frame_offset)
-            elif mode == "naive-remote":
-                yield from process_frame(remote_base + frame_offset)
-            else:
-                # Stage the incoming frame locally via an elastic
-                # transaction, then compute against local memory.
-                trans = ETrans(
-                    src_list=[(remote_base + frame_offset,
-                               config.frame_bytes)],
-                    dst_list=[(local_base + frame_offset,
-                               config.frame_bytes)],
-                    attributes={"priority": 0})
-                handle = engine.submit(trans)
-                yield handle.wait()
-                yield from process_frame(local_base + frame_offset)
-        return (env.now - start) / FRAMES
-
-    return run_proc(env, go(), horizon=500_000_000_000)
+from _common import memoize
 
 
 @memoize
 def collect() -> Dict[str, float]:
-    config = MimoConfig(antennas=16, users=4, subcarriers=64,
-                        data_symbols=4, snr_db=25.0)
-    flops = kernel_flops(config)
-    return {mode: run_deployment(mode, config, flops)
-            for mode in ("all-local", "naive-remote", "unifabric")}
+    return run_summary("case_study_mimo")["modes"]
 
 
 def test_cs_naive_remote_is_the_worst(benchmark):
@@ -159,14 +43,7 @@ def test_cs_unifabric_close_to_or_better_than_local(benchmark):
 
 
 def main() -> None:
-    results = collect()
-    local = results["all-local"]
-    rows = [[mode, value / 1e3, local / value]
-            for mode, value in results.items()]
-    print_table(
-        f"CS: MIMO uplink per-frame time ({FRAMES} frames, 16 ant x "
-        "4 users x 64 subcarriers)",
-        ["deployment", "us/frame", "vs all-local"], rows)
+    render("case_study_mimo", summary={"modes": collect()})
 
 
 if __name__ == "__main__":

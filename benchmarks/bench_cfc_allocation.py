@@ -6,11 +6,8 @@ heavily-used port would take more credits, leaving little room for
 other contending ports ... this would create interference and stall
 transactions from other ports."
 
-A hot flow hammers a shared egress credit domain while a quiet flow
-sleeps, then bursts.  Under :class:`RampUpPolicy` the quiet flow has
-decayed to the floor and its burst stalls across whole rebalance
-periods; a static split caps the hot flow; the DP#4 reservation policy
-gives the bursty flow a guaranteed floor the moment it reserves.
+The builder lives in :mod:`repro.experiments.defs.cfc` (experiment
+``cfc_allocation``); this script is its benchmark/CLI wrapper.
 """
 
 from __future__ import annotations
@@ -18,68 +15,19 @@ from __future__ import annotations
 import sys
 from typing import Dict
 
-from repro.pcie import (
-    CreditDomain,
-    RampUpPolicy,
-    ReservationPolicy,
-    StaticEqualPolicy,
-)
-from repro.sim import Environment
+from repro.experiments import render, run_summary
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import memoize, print_table, run_proc
-
-BUDGET = 64
-BURST = 48
-SERVICE_NS = 10.0      # time one credit is held per flit
-WARMUP_NS = 5_000.0
-
-
-def burst_completion(policy_name: str) -> float:
-    env = Environment()
-    if policy_name == "ramp-up":
-        policy = RampUpPolicy()
-    elif policy_name == "static":
-        policy = StaticEqualPolicy()
-    else:
-        policy = ReservationPolicy()
-    domain = CreditDomain(env, budget=BUDGET, policy=policy,
-                          rebalance_ns=500.0)
-    domain.register("hot")
-    domain.register("bursty")
-    if policy_name == "reservation":
-        policy.reserve("bursty", BUDGET // 2)
-        domain.rebalance_now()
-    domain.start()
-
-    def serve_one(flow):
-        yield env.timeout(SERVICE_NS)
-        domain.release(flow)
-
-    def hot_flow():
-        # A pipelined producer: keeps every granted credit occupied.
-        while True:
-            yield domain.acquire("hot")
-            env.process(serve_one("hot"))
-
-    def bursty_flow():
-        yield env.timeout(WARMUP_NS)    # long idle: ramp-up decays it
-        start = env.now
-        services = []
-        for _ in range(BURST):
-            yield domain.acquire("bursty")
-            services.append(env.process(serve_one("bursty")))
-        yield env.all_of(services)
-        return env.now - start
-
-    env.process(hot_flow(), name="hot")
-    return run_proc(env, bursty_flow(), horizon=10_000_000)
+from _common import memoize
 
 
 @memoize
+def summary() -> dict:
+    return run_summary("cfc_allocation")
+
+
 def collect() -> Dict[str, float]:
-    return {name: burst_completion(name)
-            for name in ("ramp-up", "static", "reservation")}
+    return summary()["policies"]
 
 
 def test_c5_rampup_starves_bursty_flow(benchmark):
@@ -95,14 +43,7 @@ def test_c5_reservation_beats_static_for_reserved_flow(benchmark):
 
 
 def main() -> None:
-    results = collect()
-    # Ideal: the burst pipelines over a fair half of the budget.
-    ideal = -(-BURST // (BUDGET // 2)) * SERVICE_NS
-    rows = [[name, value, value / ideal]
-            for name, value in results.items()]
-    rows.append(["(ideal half-budget)", ideal, 1.0])
-    print_table("C5: burst completion under credit-allocation policies",
-                ["policy", "burst ns", "vs ideal"], rows)
+    render("cfc_allocation", summary=summary())
 
 
 if __name__ == "__main__":

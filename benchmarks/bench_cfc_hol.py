@@ -6,11 +6,8 @@ prioritized over the ones with fewer credits.  This would cause
 head-of-line blocking and credit waste, impacting both bandwidth and
 latency."
 
-A latency-critical flow holds a large credit reservation; a best-effort
-flow floods the same egress.  Under FIFO the reserved flow's flits wait
-behind the flood (its credits sit idle — credit waste); with the
-arbiter-programmed priority discipline the reservation actually buys
-service order.
+The builder lives in :mod:`repro.experiments.defs.cfc` (experiment
+``cfc_hol``); this script is its benchmark/CLI wrapper.
 """
 
 from __future__ import annotations
@@ -18,81 +15,21 @@ from __future__ import annotations
 import sys
 from typing import Dict
 
-from repro import params
-from repro.fabric import Channel, Packet, PacketKind
-from repro.pcie import FabricManager, PortRole, Topology
-from repro.sim import Environment, StatSeries
+from repro.experiments import render, run_summary
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import memoize, print_table, run_proc
-
-CRITICAL_READS = 40
-FLOOD_WRITES = 400
-
-
-def run_case(scheduler: str, prio: int) -> StatSeries:
-    env = Environment()
-    topo = Topology(env, scheduler=scheduler)
-    topo.add_switch("sw0")
-    for name in ("critical", "flood"):
-        topo.add_endpoint(name)
-        topo.connect_endpoint("sw0", name, role=PortRole.UPSTREAM)
-    topo.add_endpoint("dev")
-    topo.connect_endpoint("sw0", "dev",
-                          link_params=params.LinkParams(lanes=4))
-    FabricManager(topo).configure()
-    dev = topo.port_of("dev")
-
-    def handler(request):
-        yield env.timeout(20.0)
-        if request.kind is not PacketKind.MEM_RD:
-            return None   # writes are posted in this scenario
-        return request.make_response()
-
-    dev.serve(handler, concurrency=8)
-    dst = topo.endpoints["dev"].global_id
-    stats = StatSeries("critical")
-
-    def critical():
-        port = topo.port_of("critical")
-        for _ in range(CRITICAL_READS):
-            packet = Packet(kind=PacketKind.MEM_RD,
-                            channel=Channel.CXL_MEM,
-                            src=port.port_id, dst=dst, nbytes=64,
-                            meta={"prio": prio})
-            start = env.now
-            yield from port.request(packet)
-            stats.add(env.now - start, time=env.now)
-            yield env.timeout(150.0)
-
-    def flood():
-        port = topo.port_of("flood")
-        for _ in range(FLOOD_WRITES):
-            # Same channel/VC as the critical flow: VC separation
-            # cannot save it; only the discipline can.
-            packet = Packet(kind=PacketKind.MEM_WR,
-                            channel=Channel.CXL_MEM,
-                            src=port.port_id, dst=dst, nbytes=1024,
-                            meta={"prio": 0})
-            yield from port.post(packet)
-
-    env.process(flood())
-    run_proc(env, critical())
-    return stats
+from _common import memoize
 
 
 @memoize
-def collect() -> Dict[str, StatSeries]:
-    return {
-        "fifo (credit-agnostic)": run_case("fifo", prio=0),
-        "priority (arbiter)": run_case("priority", prio=10),
-    }
+def collect() -> Dict[str, dict]:
+    return run_summary("cfc_hol")["cases"]
 
 
 def test_c6_priority_discipline_rescues_reserved_flow(benchmark):
     results = benchmark.pedantic(collect, rounds=1, iterations=1)
-    fifo = results["fifo (credit-agnostic)"].mean
-    prio = results["priority (arbiter)"].mean
+    fifo = results["fifo (credit-agnostic)"]["mean_ns"]
+    prio = results["priority (arbiter)"]["mean_ns"]
     assert prio < fifo / 1.5
     benchmark.extra_info["fifo_ns"] = round(fifo, 1)
     benchmark.extra_info["priority_ns"] = round(prio, 1)
@@ -104,17 +41,13 @@ def test_c6_hol_blocking_visible_in_tail(benchmark):
     prio = results["priority (arbiter)"]
     # The blocked flow's tail is dominated by queueing behind the
     # flood; priority scheduling flattens it.
-    assert fifo.p99 > 1.5 * prio.p99
-    benchmark.extra_info["fifo_p99_ns"] = round(fifo.p99, 1)
-    benchmark.extra_info["prio_p99_ns"] = round(prio.p99, 1)
+    assert fifo["p99_ns"] > 1.5 * prio["p99_ns"]
+    benchmark.extra_info["fifo_p99_ns"] = round(fifo["p99_ns"], 1)
+    benchmark.extra_info["prio_p99_ns"] = round(prio["p99_ns"], 1)
 
 
 def main() -> None:
-    results = collect()
-    rows = [[case, stats.mean, stats.p99]
-            for case, stats in results.items()]
-    print_table("C6: reserved-flow latency under a best-effort flood",
-                ["discipline", "mean ns", "p99 ns"], rows)
+    render("cfc_hol", summary={"cases": collect()})
 
 
 if __name__ == "__main__":

@@ -5,12 +5,8 @@ switch ports under scale-out scenarios.  Such congestion can spread
 across a large victim area, yielding more credit waste and bandwidth
 loss."
 
-Topology: host -> root switch -> leaf switch -> {hot device, victim
-device}.  A flood congests the *hot* device behind the leaf switch;
-the victim flow — which shares only the root->leaf trunk — is measured.
-With one shared (FIFO) staging class the backed-up hot traffic fills
-the trunk and leaf buffering and the victim's latency explodes; with
-per-class fair queueing the spread is contained.
+The builder lives in :mod:`repro.experiments.defs.cfc` (experiment
+``cfc_starvation``); this script is its benchmark/CLI wrapper.
 """
 
 from __future__ import annotations
@@ -18,92 +14,21 @@ from __future__ import annotations
 import sys
 from typing import Dict
 
-from repro import params
-from repro.fabric import Channel, Packet, PacketKind
-from repro.pcie import FabricManager, PortRole, Topology
-from repro.sim import Environment, StatSeries
+from repro.experiments import render, run_summary
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import memoize, print_table, run_proc
-
-VICTIM_READS = 40
-FLOOD_WRITES = 600
-
-
-def run_case(scheduler: str, with_flood: bool) -> StatSeries:
-    env = Environment()
-    topo = Topology(env, scheduler=scheduler)
-    topo.add_switch("root")
-    topo.add_switch("leaf", scheduler_capacity=32)
-    topo.connect_switches("root", "leaf")
-    for name in ("victim_host", "flood_host"):
-        topo.add_endpoint(name)
-        topo.connect_endpoint("root", name, role=PortRole.UPSTREAM)
-    topo.add_endpoint("hot_dev")
-    # The hot device is slow and narrow: the congestion source.
-    topo.connect_endpoint("leaf", "hot_dev",
-                          link_params=params.LinkParams(lanes=4,
-                                                        credits=8))
-    topo.add_endpoint("victim_dev")
-    topo.connect_endpoint("leaf", "victim_dev")
-    FabricManager(topo).configure()
-
-    def slow_handler(request):
-        yield env.timeout(500.0)   # a very slow endpoint
-        if request.kind is not PacketKind.MEM_RD:
-            return None
-        return request.make_response()
-
-    def fast_handler(request):
-        yield env.timeout(10.0)
-        if request.kind is not PacketKind.MEM_RD:
-            return None
-        return request.make_response()
-
-    topo.port_of("hot_dev").serve(slow_handler, concurrency=1)
-    topo.port_of("victim_dev").serve(fast_handler, concurrency=8)
-    stats = StatSeries("victim")
-
-    def victim():
-        port = topo.port_of("victim_host")
-        dst = topo.endpoints["victim_dev"].global_id
-        for _ in range(VICTIM_READS):
-            packet = Packet(kind=PacketKind.MEM_RD,
-                            channel=Channel.CXL_MEM,
-                            src=port.port_id, dst=dst, nbytes=64)
-            start = env.now
-            yield from port.request(packet)
-            stats.add(env.now - start, time=env.now)
-            yield env.timeout(200.0)
-
-    def flood():
-        port = topo.port_of("flood_host")
-        dst = topo.endpoints["hot_dev"].global_id
-        for _ in range(FLOOD_WRITES):
-            packet = Packet(kind=PacketKind.MEM_WR,
-                            channel=Channel.CXL_IO,
-                            src=port.port_id, dst=dst, nbytes=1024)
-            yield from port.post(packet)
-
-    if with_flood:
-        env.process(flood())
-    run_proc(env, victim())
-    return stats
+from _common import memoize
 
 
 @memoize
-def collect() -> Dict[str, StatSeries]:
-    return {
-        "fifo quiet": run_case("fifo", with_flood=False),
-        "fifo congested": run_case("fifo", with_flood=True),
-        "fair congested": run_case("fair", with_flood=True),
-    }
+def collect() -> Dict[str, dict]:
+    return run_summary("cfc_starvation")["cases"]
 
 
 def test_c7_congestion_spreads_to_victim_under_fifo(benchmark):
     results = benchmark.pedantic(collect, rounds=1, iterations=1)
-    quiet = results["fifo quiet"].mean
-    congested = results["fifo congested"].mean
+    quiet = results["fifo quiet"]["mean_ns"]
+    congested = results["fifo congested"]["mean_ns"]
     # The victim shares no endpoint with the flood, yet suffers badly.
     assert congested > 3.0 * quiet
     benchmark.extra_info["quiet_ns"] = round(quiet, 1)
@@ -112,22 +37,16 @@ def test_c7_congestion_spreads_to_victim_under_fifo(benchmark):
 
 def test_c7_per_class_queueing_contains_the_spread(benchmark):
     results = benchmark.pedantic(collect, rounds=1, iterations=1)
-    fair = results["fair congested"].mean
-    fifo = results["fifo congested"].mean
-    quiet = results["fifo quiet"].mean
+    fair = results["fair congested"]["mean_ns"]
+    fifo = results["fifo congested"]["mean_ns"]
+    quiet = results["fifo quiet"]["mean_ns"]
     assert fair < fifo / 2
     assert fair < 3.0 * quiet
     benchmark.extra_info["fair_ns"] = round(fair, 1)
 
 
 def main() -> None:
-    results = collect()
-    quiet = results["fifo quiet"].mean
-    rows = [[case, stats.mean, stats.p99, stats.mean / quiet]
-            for case, stats in results.items()]
-    print_table("C7: victim-flow latency when a sibling device is "
-                "congested (2-level tree)",
-                ["case", "mean ns", "p99 ns", "vs quiet"], rows)
+    render("cfc_starvation", summary={"cases": collect()})
 
 
 if __name__ == "__main__":

@@ -3,13 +3,9 @@
 The paper: launching a kernel on an Ethernet-attached accelerator needs
 a communication channel, a custom networking stack, and explicit
 context marshalling; a memory fabric makes the FAA behave like a local
-device — the context is a few loads/stores away and the kernel launch
-is one fabric round trip.
-
-We measure kernel-launch latency (excluding the kernel itself) three
-ways: over the comm-fabric baseline, over the fabric via an
-accelerator-chassis call, and over the fabric via a scalable-function
-message (the DP#3 hardware template).
+device.  The builder lives in :mod:`repro.experiments.defs.movement`
+(experiment ``context_switch``); this script is its benchmark/CLI
+wrapper.
 """
 
 from __future__ import annotations
@@ -17,93 +13,15 @@ from __future__ import annotations
 import sys
 from typing import Dict
 
-from repro.baselines import CommFabricChannel
-from repro.core import FunctionChassis, HandlerResult, ScalableFunction
-from repro.fabric import Channel, Packet, PacketKind
-from repro.infra import ClusterSpec, FaaSpec, build_cluster
-from repro.pcie import FabricManager, PortRole, Topology
-from repro.sim import Environment
+from repro.experiments import render, run_summary
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import memoize, print_table, run_proc
-
-KERNEL_NS = 0.0          # measure pure launch cost
-CONTEXT_BYTES = 4096     # registers + descriptors shipped per launch
-LAUNCHES = 20
-
-
-def comm_fabric_launch() -> float:
-    env = Environment()
-    nic = CommFabricChannel(env)
-
-    def go():
-        total = 0.0
-        for _ in range(LAUNCHES):
-            total += yield from nic.kernel_launch(CONTEXT_BYTES,
-                                                  KERNEL_NS)
-        return total / LAUNCHES
-
-    return run_proc(env, go())
-
-
-def fabric_accelerator_launch() -> float:
-    env = Environment()
-    cluster = build_cluster(env, ClusterSpec(
-        hosts=1, faas=[FaaSpec(name="faa0")]))
-    accel = next(iter(cluster.faa("faa0").accelerators.values()))
-    accel.register("kernel", lambda req: (KERNEL_NS, None))
-    host = cluster.host(0)
-    dst = cluster.endpoint_id("faa0")
-
-    def go():
-        start = env.now
-        for _ in range(LAUNCHES):
-            # The context rides as the packet payload: plain stores.
-            packet = Packet(kind=PacketKind.IO_WR, channel=Channel.CXL_IO,
-                            src=host.port.port_id, dst=dst,
-                            nbytes=CONTEXT_BYTES,
-                            meta={"kernel": "kernel"})
-            yield from host.port.request(packet)
-        return (env.now - start) / LAUNCHES
-
-    return run_proc(env, go())
-
-
-def scalable_function_launch() -> float:
-    env = Environment()
-    topo = Topology(env)
-    topo.add_switch("sw0")
-    topo.add_endpoint("host0")
-    host_port = topo.connect_endpoint("sw0", "host0",
-                                      role=PortRole.UPSTREAM)
-    topo.add_endpoint("faa0")
-    faa_port = topo.connect_endpoint("sw0", "faa0")
-    FabricManager(topo).configure()
-    function = ScalableFunction("kernel").on(
-        "call", lambda state, msg: HandlerResult(compute_ns=KERNEL_NS))
-    FunctionChassis(env, faa_port, [function])
-    dst = topo.endpoints["faa0"].global_id
-
-    def go():
-        start = env.now
-        for _ in range(LAUNCHES):
-            packet = Packet(kind=PacketKind.IO_WR, channel=Channel.CXL_IO,
-                            src=host_port.port_id, dst=dst,
-                            nbytes=CONTEXT_BYTES,
-                            meta={"function": "kernel"})
-            yield from host_port.request(packet)
-        return (env.now - start) / LAUNCHES
-
-    return run_proc(env, go())
+from _common import memoize
 
 
 @memoize
 def collect() -> Dict[str, float]:
-    return {
-        "comm-fabric (NIC)": comm_fabric_launch(),
-        "fabric (FAA call)": fabric_accelerator_launch(),
-        "fabric (scalable fn)": scalable_function_launch(),
-    }
+    return run_summary("context_switch")["paths"]
 
 
 def test_s3_fabric_launch_much_cheaper(benchmark):
@@ -123,13 +41,7 @@ def test_s3_scalable_function_comparable_to_raw_call(benchmark):
 
 
 def main() -> None:
-    results = collect()
-    nic = results["comm-fabric (NIC)"]
-    rows = [[mode, value, nic / value]
-            for mode, value in results.items()]
-    print_table(f"S3: kernel launch latency ({CONTEXT_BYTES}B context, "
-                "kernel excluded)",
-                ["path", "launch ns", "speedup"], rows)
+    render("context_switch", summary={"paths": collect()})
 
 
 if __name__ == "__main__":

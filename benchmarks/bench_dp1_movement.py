@@ -1,20 +1,10 @@
 """Experiment A1: DP#1 ablation — data movement as a managed service.
 
 Compares three ways to feed a compute loop whose working set lives in
-fabric-attached memory:
-
-* **naive-sync** — every load goes synchronously to the FAM (the
-  "communication fabric mindset" applied to load/store: no management);
-* **prefetch** — the sync path plus the SW-assisted stride prefetcher
-  (the DP#1 treatment for latency-critical synchronous accesses);
-* **managed** — the working set is staged into local memory by a
-  delegated elastic transaction (migration agent + orchestrator) before
-  the compute loop touches it.
-
-The paper's claim: blending sync+async movement under a managed
-service hides remote access overheads.  Shape expected: naive-sync pays
-~1575 ns per miss; prefetch approaches cache speed after the detector
-warms; managed pays one bulk transfer then runs at local speed.
+fabric-attached memory: naive-sync, prefetch, and a managed staging
+transaction.  The builder lives in
+:mod:`repro.experiments.defs.movement` (experiment ``dp1_movement``);
+this script is its benchmark/CLI wrapper.
 """
 
 from __future__ import annotations
@@ -22,55 +12,15 @@ from __future__ import annotations
 import sys
 from typing import Dict
 
-from repro.core import ETrans, MovementOrchestrator, SequentialPrefetcher
-from repro.infra import ClusterSpec, build_cluster
-from repro.sim import Environment
+from repro.experiments import render, run_summary
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import memoize, print_table, run_proc
-
-LINES = 512                      # 32KB working set
-SCANS = 4                        # compute loop passes over it
-
-
-def run_case(mode: str) -> float:
-    env = Environment()
-    cluster = build_cluster(env, ClusterSpec(hosts=1))
-    host = cluster.host(0)
-    orchestrator = MovementOrchestrator(env)
-    engine = orchestrator.attach_host(host)
-    remote_base = host.remote_base("fam0")
-    local_stage = 8 << 20   # staging buffer in local DRAM
-    prefetcher = SequentialPrefetcher(env, host, depth=16) \
-        if mode == "prefetch" else None
-
-    def go():
-        start = env.now
-        base = remote_base
-        if mode == "managed":
-            # Stage the working set with one delegated transaction.
-            trans = ETrans(
-                src_list=[(remote_base, LINES * 64)],
-                dst_list=[(local_stage, LINES * 64)],
-                attributes={"priority": 0})
-            handle = engine.submit(trans)
-            yield handle.wait()
-            base = local_stage
-        for _ in range(SCANS):
-            for i in range(LINES):
-                addr = base + i * 64
-                if prefetcher is not None:
-                    prefetcher.observe(addr)
-                yield from host.mem.access(addr, False)
-        return env.now - start
-
-    return run_proc(env, go())
+from _common import memoize
 
 
 @memoize
 def collect() -> Dict[str, float]:
-    return {mode: run_case(mode)
-            for mode in ("naive-sync", "prefetch", "managed")}
+    return run_summary("dp1_movement")["modes"]
 
 
 def test_a1_prefetch_beats_naive_sync(benchmark):
@@ -90,13 +40,7 @@ def test_a1_managed_movement_wins_on_reuse(benchmark):
 
 
 def main() -> None:
-    results = collect()
-    naive = results["naive-sync"]
-    rows = [[mode, value / 1e3, naive / value]
-            for mode, value in results.items()]
-    print_table("A1 (DP#1): compute loop over a 32KB remote working "
-                f"set, {SCANS} scans",
-                ["mode", "total us", "speedup"], rows)
+    render("dp1_movement", summary={"modes": collect()})
 
 
 if __name__ == "__main__":

@@ -1,17 +1,9 @@
 """Experiment A2: DP#2 ablation — the node-type-conscious unified heap.
 
 A skewed object workload (a few hot objects, many cold ones) runs over
-three heaps whose local bin is far too small for the dataset:
-
-* **static-first** — AIFM-style: objects placed once in fill order,
-  never migrated (hot objects happen to sit in far memory);
-* **static-rr** — striped placement, still no migration;
-* **unified** — the DP#2 heap: the profiler spots hot objects, the
-  runtime promotes them into local memory and demotes cold ones.
-
-Expected shape: the unified heap converges toward local-memory access
-times for the hot set, while static placements keep paying the ~1575 ns
-remote latency on every hot access.
+three heaps whose local bin is far too small for the dataset.  The
+builder lives in :mod:`repro.experiments.defs.movement` (experiment
+``dp2_heap``); this script is its benchmark/CLI wrapper.
 """
 
 from __future__ import annotations
@@ -19,111 +11,33 @@ from __future__ import annotations
 import sys
 from typing import Dict
 
-from repro.baselines import StaticPlacementHeap
-from repro.core import MovementOrchestrator, UnifiedHeap
-from repro.core.heap import HeapRuntime
-from repro.infra import ClusterSpec, build_cluster
-from repro.mem import CacheConfig
-from repro.sim import Environment, SimRng, StatSeries
+from repro.experiments import render, run_summary
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import memoize, print_table, run_proc
-
-OBJECTS = 64
-OBJECT_BYTES = 8192
-HOT_OBJECTS = 6
-ACCESSES = 1500
-LOCAL_BIN_BYTES = 96 * 1024      # room for ~12 objects
-
-
-#: Deliberately small host caches so the hot set does not fit: the
-#: experiment isolates *placement*, not the caching that difference #1
-#: already provides (Table 2's L1 row covers that).
-TINY_CACHES = (
-    CacheConfig(name="l1", size_bytes=4 * 1024, assoc=4,
-                read_ns=5.4, write_ns=5.4),
-    CacheConfig(name="l2", size_bytes=16 * 1024, assoc=8,
-                read_ns=13.6, write_ns=12.5),
-)
-
-
-def run_case(mode: str) -> StatSeries:
-    env = Environment()
-    cluster = build_cluster(env, ClusterSpec(hosts=1,
-                                             cache_configs=TINY_CACHES))
-    host = cluster.host(0)
-    engine = MovementOrchestrator(env).attach_host(host)
-    if mode == "unified":
-        heap = UnifiedHeap(env, host, engine)
-    else:
-        placement = "first" if mode == "static-first" else "round-robin"
-        heap = StaticPlacementHeap(env, host, engine, placement=placement)
-    heap.add_bin("local", start=8 << 20, size=LOCAL_BIN_BYTES,
-                 tier="local", is_remote=False)
-    heap.add_bin("fam0", start=host.remote_base("fam0"), size=32 << 20,
-                 tier="cpuless-numa", is_remote=True)
-    if mode == "unified":
-        runtime = HeapRuntime(env, heap, local_bin="local",
-                              interval_ns=10_000.0,
-                              promote_threshold=3.0,
-                              demote_threshold=0.5)
-        runtime.start()
-
-    # Allocate cold objects first so "first" placement exiles the hot
-    # ones (allocated last) to far memory — the adversarial-but-common
-    # case static placement cannot fix.
-    pointers = [heap.allocate(OBJECT_BYTES) for _ in range(OBJECTS)]
-    hot = pointers[-HOT_OBJECTS:]
-    cold = pointers[:-HOT_OBJECTS]
-    rng = SimRng(7)
-    stats = StatSeries(mode)
-
-    def go():
-        for _ in range(ACCESSES):
-            if rng.bernoulli(0.9):
-                target = rng.choice(hot)
-            else:
-                target = rng.choice(cold)
-            start = env.now
-            yield from target.read(rng.randint(0, 7) * 1024, nbytes=1024)
-            stats.add(env.now - start, time=env.now)
-            yield env.timeout(50.0)
-        return stats
-
-    return run_proc(env, go(), horizon=50_000_000_000)
+from _common import memoize
 
 
 @memoize
-def collect() -> Dict[str, StatSeries]:
-    return {mode: run_case(mode)
-            for mode in ("static-first", "static-rr", "unified")}
+def collect() -> Dict[str, dict]:
+    return run_summary("dp2_heap")["modes"]
 
 
 def test_a2_unified_heap_beats_static_placement(benchmark):
     results = benchmark.pedantic(collect, rounds=1, iterations=1)
-    unified = results["unified"].mean
-    assert unified < results["static-first"].mean / 1.5
+    unified = results["unified"]["mean_ns"]
+    assert unified < results["static-first"]["mean_ns"] / 1.5
     benchmark.extra_info.update(
-        {k: round(v.mean, 1) for k, v in results.items()})
+        {k: round(v["mean_ns"], 1) for k, v in results.items()})
 
 
 def test_a2_unified_tail_converges_to_local(benchmark):
     results = benchmark.pedantic(collect, rounds=1, iterations=1)
-    tail = StatSeries("tail")
     # The last third of accesses: migration has converged.
-    for sample in results["unified"].samples[-ACCESSES // 3:]:
-        tail.add(sample)
-    assert tail.mean < 400.0    # far below the 1575ns remote read
+    assert results["unified"]["tail_mean_ns"] < 400.0
 
 
 def main() -> None:
-    results = collect()
-    rows = [[mode, stats.mean, stats.p99]
-            for mode, stats in results.items()]
-    print_table(
-        f"A2 (DP#2): {OBJECTS} objects, {HOT_OBJECTS} hot (90% of "
-        "accesses), local bin fits ~12",
-        ["heap", "mean access ns", "p99 ns"], rows)
+    render("dp2_heap", summary={"modes": collect()})
 
 
 if __name__ == "__main__":

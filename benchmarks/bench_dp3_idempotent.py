@@ -1,81 +1,37 @@
 """Experiment A3: DP#3 ablation — idempotent tasks vs full restart.
 
 Failure-rate sweep over a pipeline task (per-region: read inputs,
-compute, write outputs).  Recovery modes:
-
-* **idempotent** — replay only the interrupted region (the FCC model:
-  regions have no clobber anti-dependences, replay is free of
-  correctness hazards);
-* **restart** — replay the whole task from the top (what a passive
-  failure domain forces on you without the idempotent-task abstraction).
-
-Expected shape: wasted (replayed) work and completion time grow
-gently with failure rate under idempotent recovery and explosively
-under restart — the gap widens with both failure rate and task length.
+compute, write outputs).  The builder lives in
+:mod:`repro.experiments.defs.movement` (experiment ``dp3_idempotent``);
+this script is its benchmark/CLI wrapper.
 """
 
 from __future__ import annotations
 
 import sys
-from typing import Dict, List
+from typing import Dict
 
-from repro.core import FailureInjector, IdempotentTask, Task, TaskRuntime
-from repro.infra import ClusterSpec, build_cluster
-from repro.sim import Environment, SimRng
+from repro.experiments import render, run_summary
+from repro.experiments.defs.movement import run_failure_case
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import memoize, print_table, run_proc
+from _common import memoize
 
-REGIONS = 24
-OPS_PER_REGION = 8
 RATES = (0.0, 0.01, 0.02, 0.05)
 
 
-def make_task() -> Task:
-    task = Task("pipeline")
-    for region in range(REGIONS):
-        base = region * 0x2000
-        for i in range(OPS_PER_REGION - 2):
-            task.read(base + i * 64)
-        task.compute(200.0)
-        task.write(base)            # clobbers the region's first read
-    return task
-
-
-def run_case(recovery: str, rate: float, seed: int = 5) -> dict:
-    env = Environment()
-    cluster = build_cluster(env, ClusterSpec(hosts=1))
-    injector = FailureInjector(rate=rate, rng=SimRng(seed))
-    runtime = TaskRuntime(env, cluster.host(0), injector=injector,
-                          recovery=recovery)
-    task = make_task()
-
-    def go():
-        return (yield from runtime.execute(task))
-
-    result = run_proc(env, go(), horizon=500_000_000_000)
-    return {"completion_us": result.completion_ns / 1e3,
-            "replayed_ops": result.replayed_ops,
-            "waste": result.waste_fraction,
-            "failures": result.failures}
-
-
 @memoize
-def collect() -> Dict[float, Dict[str, dict]]:
-    out = {}
-    for rate in RATES:
-        out[rate] = {recovery: run_case(recovery, rate)
-                     for recovery in ("idempotent", "restart")}
-    return out
+def collect() -> Dict[str, Dict[str, dict]]:
+    return run_summary("dp3_idempotent")["rates"]
 
 
 def test_a3_idempotent_wastes_less_at_every_rate(benchmark):
     results = benchmark.pedantic(collect, rounds=1, iterations=1)
     for rate in RATES[1:]:
-        idem = results[rate]["idempotent"]
-        restart = results[rate]["restart"]
+        idem = results[str(rate)]["idempotent"]
+        restart = results[str(rate)]["restart"]
         assert idem["replayed_ops"] <= restart["replayed_ops"]
-    worst = results[RATES[-1]]
+    worst = results[str(RATES[-1])]
     assert worst["idempotent"]["waste"] < worst["restart"]["waste"]
     benchmark.extra_info["waste_idem"] = round(
         worst["idempotent"]["waste"], 3)
@@ -87,8 +43,8 @@ def test_a3_gap_widens_with_failure_rate(benchmark):
     results = benchmark.pedantic(collect, rounds=1, iterations=1)
     gaps = []
     for rate in RATES[1:]:
-        idem = results[rate]["idempotent"]["completion_us"]
-        restart = results[rate]["restart"]["completion_us"]
+        idem = results[str(rate)]["idempotent"]["completion_us"]
+        restart = results[str(rate)]["restart"]["completion_us"]
         gaps.append(restart / idem)
     assert gaps[-1] > gaps[0]
     benchmark.extra_info["slowdown_at_worst_rate"] = round(gaps[-1], 2)
@@ -96,25 +52,15 @@ def test_a3_gap_widens_with_failure_rate(benchmark):
 
 def test_a3_zero_failures_costs_nothing_extra(benchmark):
     results = benchmark.pedantic(
-        lambda: {r: run_case(r, 0.0) for r in ("idempotent", "restart")},
+        lambda: {r: run_failure_case(r, 0.0)
+                 for r in ("idempotent", "restart")},
         rounds=1, iterations=1)
     assert results["idempotent"]["replayed_ops"] == 0
     assert results["restart"]["replayed_ops"] == 0
 
 
 def main() -> None:
-    results = collect()
-    rows: List[list] = []
-    for rate, by_mode in results.items():
-        for mode, r in by_mode.items():
-            rows.append([f"{rate:.2f}", mode, r["completion_us"],
-                         r["replayed_ops"], f"{r['waste']:.1%}",
-                         r["failures"]])
-    print_table(
-        f"A3 (DP#3): {REGIONS}x{OPS_PER_REGION}-op task under failure "
-        "injection",
-        ["rate", "recovery", "time us", "replayed", "waste", "failures"],
-        rows)
+    render("dp3_idempotent", summary={"rates": collect()})
 
 
 if __name__ == "__main__":

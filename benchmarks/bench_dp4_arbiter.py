@@ -4,9 +4,9 @@ The full in-band path: a latency-critical client asks the
 :class:`FabricArbiter` (over the dedicated control lane) for a credit
 reservation at the contended switch egress; the arbiter installs a
 :class:`ReservationPolicy` target and hands back a priority level the
-client stamps on its packets.  Compared against vanilla CFC
-(exponential ramp-up credits + credit-agnostic FIFO egress) under a
-bulk flood from a sibling host.
+client stamps on its packets.  The builder lives in
+:mod:`repro.experiments.defs.cfc` (experiment ``dp4_arbiter``); this
+script is its benchmark/CLI wrapper.
 """
 
 from __future__ import annotations
@@ -14,134 +14,35 @@ from __future__ import annotations
 import sys
 from typing import Dict
 
-from repro.core import UniFabric
-from repro.fabric import Channel, Packet, PacketKind
-from repro.infra import ClusterSpec, build_cluster
-from repro.pcie import CreditDomain, RampUpPolicy
-from repro.sim import Environment, StatSeries
+from repro.experiments import render, run_summary
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import memoize, print_table, run_proc
-
-CRITICAL_BURSTS = 10
-BURST_SIZE = 8
-FLOOD_WRITES = 1200
-FLOOD_WORKERS = 48
-EGRESS_CREDIT_BUDGET = 48
-
-
-def _egress_index(cluster, peer: str) -> int:
-    switch = cluster.topology.switches["sw0"]
-    for index, port in switch.ports.items():
-        if port.peer == peer:
-            return index
-    raise KeyError(peer)
-
-
-def run_case(mode: str) -> StatSeries:
-    env = Environment()
-    scheduler = "priority" if mode == "arbiter" else "fifo"
-    # Fast media + a narrow x4 chassis link: the contended resource is
-    # the switch egress toward the FAM (the paper's C5/C6 are fabric
-    # effects), not the device internals.
-    from repro import params
-    from repro.infra import FamSpec
-    cluster = build_cluster(env, ClusterSpec(
-        hosts=2, scheduler=scheduler, control_lane=True,
-        fams=[FamSpec(name="fam0", read_extra_ns=0.0,
-                      write_extra_ns=0.0, modules=8,
-                      link_params=params.LinkParams(lanes=4))]))
-    switch = cluster.topology.switches["sw0"]
-    egress = _egress_index(cluster, "fam0")
-    domain = CreditDomain(env, budget=EGRESS_CREDIT_BUDGET,
-                          policy=RampUpPolicy(), rebalance_ns=500.0)
-    switch.add_credit_domain(egress, domain)
-
-    uni = UniFabric(env, cluster, with_arbiter=mode == "arbiter")
-    if mode == "arbiter":
-        uni.arbiter.manage("sw0:fam0", domain)
-    else:
-        domain.start()
-
-    host0 = cluster.host(0)
-    host1 = cluster.hosts["host1"]
-    dst = cluster.endpoint_id("fam0")
-    stats = StatSeries(mode)
-    # Flows are named after switch ingress ports ("in<N>").
-    critical_flow = f"in{_egress_index(cluster, 'host0')}"
-
-    def one_read(prio):
-        packet = Packet(kind=PacketKind.MEM_RD,
-                        channel=Channel.CXL_MEM,
-                        src=host0.port.port_id, dst=dst, nbytes=64,
-                        meta={"prio": prio})
-        yield from host0.port.request(packet)
-
-    def critical():
-        prio = 0
-        if mode == "arbiter":
-            client = uni.arbiter_client("host0")
-            grant = yield from client.reserve(
-                "sw0:fam0", critical_flow, EGRESS_CREDIT_BUDGET // 2)
-            prio = grant["prio"]
-        else:
-            yield env.timeout(0)
-        yield env.timeout(5_000.0)   # let the flood ramp (C5 decay)
-        for _ in range(CRITICAL_BURSTS):
-            start = env.now
-            burst = [env.process(one_read(prio))
-                     for _ in range(BURST_SIZE)]
-            yield env.all_of(burst)
-            stats.add(env.now - start, time=env.now)
-            yield env.timeout(2_000.0)
-
-    # The flood writes to modules 1..7; the critical reads hit module
-    # 0, so the *shared* resource is the fabric egress, not one DRAM
-    # bank inside the chassis.
-    module_capacity = cluster.fam("fam0").modules[0].capacity_bytes
-
-    def flood_worker(worker, count):
-        addr = (1 + worker % 7) * module_capacity + worker * 8192
-        for _ in range(count):
-            packet = Packet(kind=PacketKind.MEM_WR,
-                            channel=Channel.CXL_MEM,
-                            src=host1.port.port_id, dst=dst, addr=addr,
-                            nbytes=4096, meta={"prio": 0})
-            yield from host1.port.request(packet)
-
-    for worker in range(FLOOD_WORKERS):  # saturate the narrow link
-        env.process(flood_worker(worker,
-                                 FLOOD_WRITES // FLOOD_WORKERS))
-    run_proc(env, critical(), horizon=50_000_000_000)
-    return stats
+from _common import memoize
 
 
 @memoize
-def collect() -> Dict[str, StatSeries]:
-    return {"vanilla-cfc": run_case("vanilla"),
-            "arbiter": run_case("arbiter")}
+def collect() -> Dict[str, dict]:
+    return run_summary("dp4_arbiter")["modes"]
 
 
 def test_a4_arbiter_protects_reserved_flow(benchmark):
     results = benchmark.pedantic(collect, rounds=1, iterations=1)
-    assert results["arbiter"].mean < results["vanilla-cfc"].mean
+    assert results["arbiter"]["mean_ns"] < \
+        results["vanilla-cfc"]["mean_ns"]
     benchmark.extra_info["vanilla_ns"] = round(
-        results["vanilla-cfc"].mean, 1)
-    benchmark.extra_info["arbiter_ns"] = round(results["arbiter"].mean, 1)
+        results["vanilla-cfc"]["mean_ns"], 1)
+    benchmark.extra_info["arbiter_ns"] = round(
+        results["arbiter"]["mean_ns"], 1)
 
 
 def test_a4_arbiter_tail_is_tighter(benchmark):
     results = benchmark.pedantic(collect, rounds=1, iterations=1)
-    assert results["arbiter"].p99 <= results["vanilla-cfc"].p99
+    assert results["arbiter"]["p99_ns"] <= \
+        results["vanilla-cfc"]["p99_ns"]
 
 
 def main() -> None:
-    results = collect()
-    rows = [[mode, stats.mean, stats.p99]
-            for mode, stats in results.items()]
-    print_table(f"A4 (DP#4): {BURST_SIZE}-read burst completion vs a "
-                "4KB-write flood at one egress",
-                ["mode", "mean burst ns", "p99 ns"], rows)
+    render("dp4_arbiter", summary={"modes": collect()})
 
 
 if __name__ == "__main__":

@@ -3,15 +3,17 @@
 Builds the rack of Figure 1(b): n host servers (CPU + local DIMMs +
 FHA), a fabric switch, FAM chassis (FEA + controller + rDIMM modules)
 and an FAA chassis, then checks the structural inventory and that
-every host reaches every chassis through the fabric.
+every host reaches every chassis through the fabric.  Registered as
+experiment ``fig1_composition``.
 """
 
 from __future__ import annotations
 
 import sys
 
+from repro.experiments import render
+from repro.experiments.defs.tables import build_fig1
 from repro.fabric import Channel, Packet, PacketKind
-from repro.infra import ClusterSpec, FaaSpec, FamSpec, build_cluster
 from repro.sim import Environment
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
@@ -20,10 +22,7 @@ from _common import run_proc
 
 def build():
     env = Environment()
-    cluster = build_cluster(env, ClusterSpec(
-        hosts=2,
-        fams=[FamSpec(name="fam0", capacity_bytes=1 << 28, modules=6)],
-        faas=[FaaSpec(name="faa0", accelerators=8)]))
+    cluster = build_fig1(env)
     return env, cluster
 
 
@@ -66,8 +65,7 @@ def test_fig1_all_hosts_reach_all_devices(benchmark):
 
 
 def main() -> None:
-    env, cluster = build()
-    print(cluster.describe())
+    render("fig1_composition")
 
 
 if __name__ == "__main__":

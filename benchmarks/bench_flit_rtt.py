@@ -5,69 +5,17 @@ Paper claims (sections 3 and 4): a FabreX-class switch delivers
 "the end-to-end RTT of a 64B flit at the data link layer in an
 unloaded scenario can be up to 200 ns".
 
-We ping one 64B read over host -> switch -> device and back with zero
-device service time, one request in flight, and report the RTT; the
-switch-crossing share is measured separately against the <100 ns/port
-figure.
+The builder lives in :mod:`repro.experiments.defs.fabric` (experiment
+``flit_rtt``); this script is its benchmark/CLI wrapper.
 """
 
 from __future__ import annotations
 
-import sys
-
 import pytest
 
 from repro import params
-from repro.fabric import Channel, Packet, PacketKind
-from repro.pcie import FabricManager, PortRole, Topology
-from repro.sim import Environment
-
-sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import print_table, run_proc
-
-
-def build(hops: int = 1):
-    env = Environment()
-    topo = Topology(env)
-    names = [f"sw{i}" for i in range(hops)]
-    for name in names:
-        topo.add_switch(name)
-    for a, b in zip(names, names[1:]):
-        topo.connect_switches(a, b)
-    topo.add_endpoint("host")
-    topo.connect_endpoint(names[0], "host", role=PortRole.UPSTREAM)
-    topo.add_endpoint("dev")
-    topo.connect_endpoint(names[-1], "dev")
-    FabricManager(topo).configure()
-    dev = topo.port_of("dev")
-
-    def echo(request):
-        yield env.timeout(0)
-        return request.make_response()
-
-    dev.serve(echo)
-    return env, topo
-
-
-def measure_rtt(hops: int = 1, pings: int = 10) -> float:
-    env, topo = build(hops)
-    host = topo.port_of("host")
-    rtts = []
-
-    def go():
-        for _ in range(pings):
-            packet = Packet(kind=PacketKind.MEM_RD,
-                            channel=Channel.CXL_MEM,
-                            src=host.port_id,
-                            dst=topo.endpoints["dev"].global_id,
-                            nbytes=0)
-            start = env.now
-            yield from host.request(packet)
-            rtts.append(env.now - start)
-            yield env.timeout(1_000)   # unloaded: strictly one at a time
-
-    run_proc(env, go())
-    return sum(rtts) / len(rtts)
+from repro.experiments import render
+from repro.experiments.defs.fabric import measure_rtt
 
 
 def test_c4_unloaded_rtt_near_200ns(benchmark):
@@ -104,13 +52,7 @@ def test_c4_port_bandwidth_target(benchmark):
 
 
 def main() -> None:
-    rows = []
-    for hops in (1, 2, 3):
-        rows.append([f"{hops} switch(es)", measure_rtt(hops=hops),
-                     params.UNLOADED_FLIT_RTT_TARGET_NS if hops == 1
-                     else "-"])
-    print_table("C4: unloaded 64B flit RTT",
-                ["path", "sim RTT ns", "paper target"], rows)
+    render("flit_rtt")
 
 
 if __name__ == "__main__":

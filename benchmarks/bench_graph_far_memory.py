@@ -2,18 +2,9 @@
 
 Pointer-heavy traversal is the workload far memory hurts most — the
 next access depends on the last, so neither prefetching nor bandwidth
-helps.  We run BFS over a CSR graph placed three ways:
-
-* **local** — the whole graph in host DRAM (upper bound);
-* **remote** — the whole graph in a FAM chassis, accessed on demand;
-* **unified+runtime** — the graph in the DP#2 heap with the migration
-  runtime on: repeated traversals heat the graph objects and the
-  runtime pulls them local.
-
-Expected shape: the first remote traversal pays full fabric latency on
-every edge; the unified heap converges toward local performance across
-iterations, while static-remote stays pinned to fabric speed whenever
-the caches cannot hold the graph.
+helps.  The builder lives in :mod:`repro.experiments.defs.movement`
+(experiment ``graph_far_memory``); this script is its benchmark/CLI
+wrapper.
 """
 
 from __future__ import annotations
@@ -21,66 +12,15 @@ from __future__ import annotations
 import sys
 from typing import Dict, List
 
-from repro.core import MovementOrchestrator, UnifiedHeap
-from repro.core.heap import HeapRuntime
-from repro.infra import ClusterSpec, build_cluster
-from repro.mem import CacheConfig
-from repro.sim import Environment, SimRng
-from repro.workloads import CsrGraph, random_graph
+from repro.experiments import render, run_summary
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import memoize, print_table, run_proc
-
-VERTICES = 96
-AVG_DEGREE = 3.0
-TRAVERSALS = 4
-
-#: small caches: the graph must not fit (placement is the variable)
-TINY_CACHES = (
-    CacheConfig(name="l1", size_bytes=2 * 1024, assoc=2,
-                read_ns=5.4, write_ns=5.4),
-    CacheConfig(name="l2", size_bytes=8 * 1024, assoc=4,
-                read_ns=13.6, write_ns=12.5),
-)
-
-
-def run_mode(mode: str) -> List[float]:
-    env = Environment()
-    cluster = build_cluster(env, ClusterSpec(hosts=1,
-                                             cache_configs=TINY_CACHES))
-    host = cluster.host(0)
-    engine = MovementOrchestrator(env).attach_host(host)
-    heap = UnifiedHeap(env, host, engine)
-    heap.add_bin("local", start=8 << 20, size=1 << 20, tier="local",
-                 is_remote=False)
-    heap.add_bin("fam0", start=host.remote_base("fam0"), size=8 << 20,
-                 tier="cpuless-numa", is_remote=True)
-    if mode == "unified+runtime":
-        runtime = HeapRuntime(env, heap, local_bin="local",
-                              interval_ns=20_000.0,
-                              promote_threshold=3.0)
-        runtime.start()
-    tier = "local" if mode == "local" else "cpuless-numa"
-    graph = CsrGraph(env, heap, random_graph(VERTICES, AVG_DEGREE,
-                                             SimRng(17)),
-                     prefer_tier=tier)
-    times: List[float] = []
-
-    def go():
-        for _ in range(TRAVERSALS):
-            start = env.now
-            yield from graph.bfs(0)
-            times.append(env.now - start)
-            yield env.timeout(30_000.0)   # let the runtime react
-
-    run_proc(env, go(), horizon=500_000_000_000)
-    return times
+from _common import memoize
 
 
 @memoize
 def collect() -> Dict[str, List[float]]:
-    return {mode: run_mode(mode)
-            for mode in ("local", "remote", "unified+runtime")}
+    return run_summary("graph_far_memory")["modes"]
 
 
 def test_e5_first_remote_traversal_pays_fabric_latency(benchmark):
@@ -101,15 +41,7 @@ def test_e5_unified_heap_converges_toward_local(benchmark):
 
 
 def main() -> None:
-    results = collect()
-    rows = []
-    for mode, times in results.items():
-        rows.append([mode] + [t / 1e3 for t in times])
-    print_table(
-        f"E5 (extension): BFS over a {VERTICES}-vertex CSR graph, "
-        f"{TRAVERSALS} traversals (us each)",
-        ["placement"] + [f"pass {i}" for i in range(TRAVERSALS)],
-        rows)
+    render("graph_far_memory", summary={"modes": collect()})
 
 
 if __name__ == "__main__":

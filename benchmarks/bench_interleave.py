@@ -3,9 +3,9 @@
 CXL hosts can interleave a host-managed device-memory region across
 several Type-3 devices, aggregating their bandwidth — the natural
 answer to the paper's motivation #1 (stagnant per-core memory
-bandwidth).  We stream a large buffer through 1/2/4-way stripes and
-report effective bandwidth; the curve saturates when the host's own
-port becomes the bottleneck, which is itself the honest lesson.
+bandwidth).  The builder lives in
+:mod:`repro.experiments.defs.fabric` (experiment ``hdm_interleave``;
+the bench keeps its historical file name).
 """
 
 from __future__ import annotations
@@ -13,49 +13,16 @@ from __future__ import annotations
 import sys
 from typing import Dict
 
-from repro.infra import ClusterSpec, FamSpec, build_cluster
-from repro.sim import Environment
+from repro.experiments import render, run_summary
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import memoize, print_table, run_proc
-
-SCAN_BYTES = 256 * 1024
-CHUNK = 16 * 1024
-
-
-def stream(ways: int) -> float:
-    """Scan SCAN_BYTES through a `ways`-way stripe; returns GB/s."""
-    env = Environment()
-    cluster = build_cluster(env, ClusterSpec(
-        hosts=1, map_all_fams=False,
-        fams=[FamSpec(name=f"fam{i}", capacity_bytes=1 << 26)
-              for i in range(4)]))
-    host = cluster.host(0)
-    targets = [(f"fam{i}", cluster.endpoint_id(f"fam{i}"))
-               for i in range(ways)]
-    region = host.map_interleaved("stripe", targets, size=32 << 20)
-
-    def worker(slice_index, slices):
-        offset = slice_index * CHUNK
-        while offset < SCAN_BYTES:
-            yield from host.mem.access(region.start + offset, False,
-                                       CHUNK)
-            offset += slices * CHUNK
-
-    def go():
-        start = env.now
-        slices = 8   # a pipelined stream: 8 chunks in flight
-        workers = [env.process(worker(i, slices)) for i in range(slices)]
-        yield env.all_of(workers)
-        return env.now - start
-
-    elapsed_ns = run_proc(env, go(), horizon=500_000_000_000)
-    return SCAN_BYTES / elapsed_ns   # bytes/ns == GB/s
+from _common import memoize
 
 
 @memoize
 def collect() -> Dict[int, float]:
-    return {ways: stream(ways) for ways in (1, 2, 4)}
+    return {int(ways): gbps for ways, gbps
+            in run_summary("hdm_interleave")["ways"].items()}
 
 
 def test_e3_two_way_beats_single_chassis(benchmark):
@@ -76,12 +43,8 @@ def test_e3_scaling_saturates_at_host_port(benchmark):
 
 def main() -> None:
     results = collect()
-    rows = [[f"{ways}-way", gbps, gbps / results[1]]
-            for ways, gbps in results.items()]
-    print_table(
-        f"E3 (extension): {SCAN_BYTES >> 10}KiB stream over HDM "
-        "interleaving",
-        ["stripe", "GB/s", "vs 1-way"], rows)
+    render("hdm_interleave",
+           summary={"ways": {str(k): v for k, v in results.items()}})
 
 
 if __name__ == "__main__":

@@ -1,16 +1,10 @@
 """Experiment S2: difference #2 — the eclectic memory node types.
 
 Runs comparable sharing patterns over the four node flavours of
-section 3 and reports what each is good and bad at:
-
-* **CPU-less expander** — cheapest access, but no sharing semantics
-  (partitioned);
-* **CC-NUMA** — hardware coherence: reads are cheap to share, writes to
-  contended lines pay snoop round trips;
-* **non-CC NUMA** — expander-speed accesses even when sharing, but the
-  device merely counts the cross-host conflicts software must resolve;
-* **COMA** — attraction memory: repeated access migrates data to its
-  user, so locality improves over time.
+section 3 (CPU-less expander, CC-NUMA, non-CC NUMA, COMA) and reports
+what each is good and bad at.  The builder lives in
+:mod:`repro.experiments.defs.memory` (experiment ``node_types``); this
+script is its benchmark/CLI wrapper.
 """
 
 from __future__ import annotations
@@ -18,92 +12,15 @@ from __future__ import annotations
 import sys
 from typing import Dict
 
-from repro.infra import ClusterSpec, FamSpec, build_cluster
-from repro.mem import ComaCluster, NodeKind
-from repro.sim import Environment, StatSeries
+from repro.experiments import render, run_summary
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import memoize, print_table, run_proc
-
-ROUNDS = 30
-SHARED_LINES = 8
-
-
-def fabric_node_case(kind: NodeKind) -> Dict[str, float]:
-    """Two hosts ping-pong writes + reads over a shared region.
-
-    Issued as uncached fabric requests: sharing semantics live at the
-    device, and a write-back host cache would otherwise absorb the
-    traffic after the first round (difference #1 at work).
-    """
-    env = Environment()
-    cluster = build_cluster(env, ClusterSpec(
-        hosts=2, fams=[FamSpec(name="fam", kind=kind,
-                               capacity_bytes=1 << 26)]))
-    host0 = cluster.host(0)
-    host1 = cluster.hosts["host1"]
-    dst = cluster.endpoint_id("fam")
-    stats = StatSeries(kind.value)
-
-    def op(host, addr, is_write):
-        from repro.fabric import Channel, Packet, PacketKind
-        packet = Packet(
-            kind=PacketKind.MEM_WR if is_write else PacketKind.MEM_RD,
-            channel=Channel.CXL_MEM, src=host.port.port_id, dst=dst,
-            addr=addr, nbytes=64)
-        yield from host.port.request(packet)
-
-    def go():
-        for round_index in range(ROUNDS):
-            for line in range(SHARED_LINES):
-                addr = line * 64
-                writer, reader = (host0, host1) if round_index % 2 \
-                    else (host1, host0)
-                start = env.now
-                yield from op(writer, addr, True)
-                yield from op(reader, addr, False)
-                stats.add(env.now - start, time=env.now)
-        return stats
-
-    run_proc(env, go(), horizon=500_000_000_000)
-    module = cluster.fam("fam").modules[0]
-    snoops = getattr(module, "snoops_issued", 0)
-    conflicts = getattr(module, "cross_host_conflicts", 0)
-    return {"mean_ns": stats.mean, "snoops": snoops,
-            "conflicts": conflicts}
-
-
-def coma_case() -> Dict[str, float]:
-    """The same ping-pong over a 2-node COMA cluster."""
-    env = Environment()
-    coma = ComaCluster(env, nodes=2, am_capacity_lines=64)
-    stats = StatSeries("coma")
-
-    def go():
-        for round_index in range(ROUNDS):
-            for line in range(SHARED_LINES):
-                addr = line * 64
-                writer, reader = (0, 1) if round_index % 2 else (1, 0)
-                start = env.now
-                yield from coma.access(writer, addr, is_write=True)
-                yield from coma.access(reader, addr, is_write=False)
-                stats.add(env.now - start, time=env.now)
-        return stats
-
-    run_proc(env, go())
-    return {"mean_ns": stats.mean,
-            "invalidations": coma.stats.invalidations,
-            "replications": coma.stats.replications}
+from _common import memoize
 
 
 @memoize
 def collect() -> Dict[str, Dict[str, float]]:
-    return {
-        "cpuless-numa": fabric_node_case(NodeKind.CPULESS_NUMA),
-        "cc-numa": fabric_node_case(NodeKind.CC_NUMA),
-        "noncc-numa": fabric_node_case(NodeKind.NONCC_NUMA),
-        "coma": coma_case(),
-    }
+    return run_summary("node_types")["kinds"]
 
 
 def test_s2_coherence_costs_latency(benchmark):
@@ -134,15 +51,7 @@ def test_s2_coma_attracts_data(benchmark):
 
 
 def main() -> None:
-    results = collect()
-    rows = []
-    for kind, r in results.items():
-        extra = ", ".join(f"{k}={v}" for k, v in r.items()
-                          if k != "mean_ns")
-        rows.append([kind, r["mean_ns"], extra])
-    print_table("S2: write->read sharing round over each node type",
-                ["node type", "mean round ns", "notes"],
-                rows, widths=[14, 14, 44])
+    render("node_types", summary={"kinds": collect()})
 
 
 if __name__ == "__main__":

@@ -1,10 +1,9 @@
 """Extension experiment E2: link-layer credit overcommitment.
 
 Section 2.1: the link layer "runs an overcommitment scheme to improve
-bandwidth utilization".  We quantify when that helps: a receiver that
-drains in bursts (service pauses) leaves granted credits idle; an
-overcommitted sender keeps the pipe full across the pauses, at the
-cost of deeper receiver occupancy.
+bandwidth utilization".  The builder lives in
+:mod:`repro.experiments.defs.fabric` (experiment ``overcommit``);
+this script is its benchmark/CLI wrapper.
 """
 
 from __future__ import annotations
@@ -12,56 +11,15 @@ from __future__ import annotations
 import sys
 from typing import Dict
 
-from repro import params
-from repro.fabric import Channel, LinkLayer, Packet, PacketKind, fragment
-from repro.sim import Environment
+from repro.experiments import render, run_summary
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import memoize, print_table, run_proc
-
-FLITS = 400
-PAUSE_EVERY = 16        # receiver pauses after every 16 flits...
-PAUSE_NS = 120.0        # ...for this long (bursty drain)
-
-
-def throughput(overcommit: float) -> Dict[str, float]:
-    env = Environment()
-    link = LinkLayer(env, params.LinkParams(credits=8),
-                     overcommit=overcommit, name="l0")
-    consumed = []
-
-    def producer():
-        for i in range(FLITS):
-            packet = Packet(kind=PacketKind.MEM_WR,
-                            channel=Channel.CXL_MEM, src=0, dst=1,
-                            nbytes=0)
-            yield link.send(fragment(packet)[0])
-
-    def consumer():
-        count = 0
-        while count < FLITS:
-            flit = yield link.rx.get()
-            link.consume(flit)
-            count += 1
-            consumed.append(env.now)
-            if count % PAUSE_EVERY == 0:
-                yield env.timeout(PAUSE_NS)
-
-    env.process(producer())
-    proc = env.process(consumer())
-    run_proc(env, _wait(env, proc))
-    elapsed = consumed[-1] - consumed[0]
-    return {"flits_per_us": (FLITS - 1) / elapsed * 1e3,
-            "max_rx_occupancy": link.max_rx_occupancy}
-
-
-def _wait(env, proc):
-    yield proc
+from _common import memoize
 
 
 @memoize
 def collect() -> Dict[str, Dict[str, float]]:
-    return {f"{oc:.1f}x": throughput(oc) for oc in (1.0, 1.5, 2.0, 3.0)}
+    return run_summary("overcommit")["factors"]
 
 
 def test_e2_overcommit_improves_bursty_throughput(benchmark):
@@ -81,13 +39,7 @@ def test_e2_overcommit_costs_buffer_occupancy(benchmark):
 
 
 def main() -> None:
-    results = collect()
-    rows = [[factor, r["flits_per_us"], r["max_rx_occupancy"]]
-            for factor, r in results.items()]
-    print_table(
-        "E2 (extension): credit overcommitment vs a bursty receiver "
-        f"(8 credits, pause {PAUSE_NS:.0f}ns per {PAUSE_EVERY} flits)",
-        ["overcommit", "flits/us", "peak rx occupancy"], rows)
+    render("overcommit", summary={"factors": collect()})
 
 
 if __name__ == "__main__":

@@ -5,88 +5,29 @@ Xilinx U55C FPGA card in a remote chassis, concurrent 64B PCIe writes
 can add 600ns more one-way latencies when compared with the case of
 holding the card within the host."
 
-We sweep the number of hosts concurrently streaming posted 64B writes
-at one remote device behind a single downstream port and report the
-added one-way latency versus the unloaded case.  The contended
-resources are the switch egress wire, its staging queues, the
-downstream link credits, and the device service pipeline — exactly the
-queueing effects a discrete-event model reproduces.
+The builder lives in :mod:`repro.experiments.defs.fabric` (experiment
+``pcie_interference``); this script is its benchmark/CLI wrapper.
 """
 
 from __future__ import annotations
 
 import sys
-from typing import Tuple
 
-from repro import params
-from repro.fabric import Channel, Packet, PacketKind
-from repro.pcie import FabricManager, PortRole, Topology
-from repro.sim import Environment, StatSeries
+from repro.experiments import render, run_summary
+from repro.experiments.defs.fabric import one_way_latency
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import print_table, run_proc
-
-DEVICE_SERVICE_NS = 250.0     # FPGA-side handling of one 64B write
-WRITES_PER_HOST = 150
+from _common import memoize
 
 
-def build(hosts: int):
-    env = Environment()
-    # The remote chassis hangs off a narrow x4 downstream link (a
-    # single FPGA card), while hosts bring x16 uplinks.
-    topo = Topology(env)
-    topo.add_switch("sw0")
-    for h in range(hosts):
-        topo.add_endpoint(f"host{h}")
-        topo.connect_endpoint("sw0", f"host{h}", role=PortRole.UPSTREAM)
-    topo.add_endpoint("fpga")
-    topo.connect_endpoint("sw0", "fpga",
-                          link_params=params.LinkParams(lanes=4))
-    FabricManager(topo).configure()
-    fpga = topo.port_of("fpga")
-
-    def handler(request):
-        yield env.timeout(DEVICE_SERVICE_NS)
-        return request.make_response()
-
-    fpga.serve(handler, concurrency=2)
-    return env, topo
-
-
-def one_way_latency(hosts: int) -> float:
-    """Mean request one-way latency (send -> device starts serving)."""
-    env, topo = build(hosts)
-    stats = StatSeries("oneway")
-    dst = topo.endpoints["fpga"].global_id
-
-    def client(h):
-        port = topo.port_of(f"host{h}")
-        for i in range(WRITES_PER_HOST):
-            packet = Packet(kind=PacketKind.MEM_WR,
-                            channel=Channel.CXL_MEM,
-                            src=port.port_id, dst=dst, nbytes=64)
-            start = env.now
-            yield from port.request(packet)
-            rtt = env.now - start
-            # One-way share: subtract the device service and halve.
-            stats.add((rtt - DEVICE_SERVICE_NS) / 2, time=env.now)
-
-    procs = [env.process(client(h)) for h in range(hosts)]
-
-    def wait():
-        yield env.all_of(procs)
-
-    run_proc(env, wait())
-    return stats.mean
+@memoize
+def collect() -> dict:
+    return run_summary("pcie_interference")
 
 
 def sweep() -> list:
-    unloaded = one_way_latency(1)
-    rows = []
-    for hosts in (1, 2, 4, 8, 16):
-        latency = one_way_latency(hosts)
-        rows.append((hosts, latency, latency - unloaded))
-    return rows
+    return [(r["hosts"], r["oneway_ns"], r["added_ns"])
+            for r in collect()["rows"]]
 
 
 def test_c2_interference_adds_hundreds_of_ns(benchmark):
@@ -109,11 +50,7 @@ def test_c2_unloaded_baseline_sane(benchmark):
 
 
 def main() -> None:
-    rows = [[hosts, latency, delta,
-             params.PCIE_INTERFERENCE_TARGET_NS if hosts == 16 else "-"]
-            for hosts, latency, delta in sweep()]
-    print_table("C2: concurrent 64B writes to one remote chassis",
-                ["hosts", "one-way ns", "added ns", "paper scale"], rows)
+    render("pcie_interference", summary=collect())
 
 
 if __name__ == "__main__":

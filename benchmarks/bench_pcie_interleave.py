@@ -3,11 +3,8 @@
 Paper (section 3, difference #3): "When interleaved with 16KB writes,
 the average latency of 64B requests can be degraded drastically."
 
-One host issues latency-sensitive 64B reads while another streams
-posted 16KB writes into the same remote chassis.  With the
-credit-agnostic FIFO egress discipline the 64B flits physically queue
-behind bulk flits (the paper's observation); start-time fair queueing
-across virtual channels bounds the damage — the fix DP#4 programs.
+The builder lives in :mod:`repro.experiments.defs.fabric` (experiment
+``pcie_interleave``); this script is its benchmark/CLI wrapper.
 """
 
 from __future__ import annotations
@@ -15,84 +12,21 @@ from __future__ import annotations
 import sys
 from typing import Dict
 
-from repro import params
-from repro.fabric import Channel, Packet, PacketKind
-from repro.pcie import FabricManager, PortRole, Topology
-from repro.sim import Environment, StatSeries
+from repro.experiments import render, run_summary
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import memoize, print_table, run_proc
-
-READS = 40
-BULK_WRITES = 80
-
-
-def run_case(scheduler: str, with_bulk: bool) -> StatSeries:
-    env = Environment()
-    topo = Topology(env, scheduler=scheduler)
-    topo.add_switch("sw0")
-    for name in ("reader", "writer"):
-        topo.add_endpoint(name)
-        topo.connect_endpoint("sw0", name, role=PortRole.UPSTREAM)
-    topo.add_endpoint("dev")
-    topo.connect_endpoint("sw0", "dev",
-                          link_params=params.LinkParams(lanes=4))
-    FabricManager(topo).configure()
-    dev = topo.port_of("dev")
-
-    def handler(request):
-        yield env.timeout(params.FAM_ACCESS_NS)
-        if request.kind is PacketKind.IO_WR:
-            return None   # posted
-        return request.make_response()
-
-    dev.serve(handler, concurrency=8)
-    dst = topo.endpoints["dev"].global_id
-    stats = StatSeries("64B")
-
-    def reader():
-        port = topo.port_of("reader")
-        for _ in range(READS):
-            packet = Packet(kind=PacketKind.MEM_RD,
-                            channel=Channel.CXL_MEM,
-                            src=port.port_id, dst=dst, nbytes=64)
-            start = env.now
-            yield from port.request(packet)
-            stats.add(env.now - start, time=env.now)
-            yield env.timeout(300.0)
-
-    def writer():
-        port = topo.port_of("writer")
-        for _ in range(BULK_WRITES):
-            packet = Packet(kind=PacketKind.IO_WR,
-                            channel=Channel.CXL_IO,
-                            src=port.port_id, dst=dst, nbytes=16 * 1024)
-            yield from port.post(packet)
-
-    procs = [env.process(reader())]
-    if with_bulk:
-        procs.append(env.process(writer()))
-
-    def wait():
-        yield env.all_of(procs)
-
-    run_proc(env, wait())
-    return stats
+from _common import memoize
 
 
 @memoize
-def collect() -> Dict[str, StatSeries]:
-    return {
-        "alone": run_case("fifo", with_bulk=False),
-        "fifo+16KB": run_case("fifo", with_bulk=True),
-        "fair+16KB": run_case("fair", with_bulk=True),
-    }
+def collect() -> Dict[str, dict]:
+    return run_summary("pcie_interleave")["cases"]
 
 
 def test_c3_fifo_interleaving_degrades_small_reads(benchmark):
     results = benchmark.pedantic(collect, rounds=1, iterations=1)
-    alone = results["alone"].mean
-    fifo = results["fifo+16KB"].mean
+    alone = results["alone"]["mean_ns"]
+    fifo = results["fifo+16KB"]["mean_ns"]
     # "Degraded drastically": at least 2x the unloaded latency.
     assert fifo > 2.0 * alone
     benchmark.extra_info["alone_ns"] = round(alone, 1)
@@ -101,21 +35,16 @@ def test_c3_fifo_interleaving_degrades_small_reads(benchmark):
 
 def test_c3_fair_queueing_bounds_the_damage(benchmark):
     results = benchmark.pedantic(collect, rounds=1, iterations=1)
-    fifo = results["fifo+16KB"].mean
-    fair = results["fair+16KB"].mean
+    fifo = results["fifo+16KB"]["mean_ns"]
+    fair = results["fair+16KB"]["mean_ns"]
     assert fair < fifo
     # Fair queueing keeps the 64B mean within ~4x of unloaded.
-    assert fair < 4.0 * results["alone"].mean
+    assert fair < 4.0 * results["alone"]["mean_ns"]
     benchmark.extra_info["fair_ns"] = round(fair, 1)
 
 
 def main() -> None:
-    results = collect()
-    rows = [[case, stats.mean, stats.p99,
-             stats.mean / results["alone"].mean]
-            for case, stats in results.items()]
-    print_table("C3: 64B read latency vs 16KB write interleaving",
-                ["case", "mean ns", "p99 ns", "vs alone"], rows)
+    render("pcie_interleave", summary={"cases": collect()})
 
 
 if __name__ == "__main__":

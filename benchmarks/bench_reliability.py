@@ -4,11 +4,8 @@ Not a table in the paper, but its section 3 (difference #5) argues the
 point this bench quantifies — passive failure domains need a
 fault-tolerance scheme that is "resource-frugal and impacts the
 application performance little", citing Carbink's erasure-coding
-recipe.  We measure, over the simulated rack:
-
-* the steady-state overhead of parity protection (write amplification);
-* the degraded-read latency cliff after a chassis loss;
-* reconstruction restoring the fast path.
+recipe.  The builder lives in :mod:`repro.experiments.defs.memory`
+(experiment ``reliability``); this script is its benchmark/CLI wrapper.
 """
 
 from __future__ import annotations
@@ -16,75 +13,16 @@ from __future__ import annotations
 import sys
 from typing import Dict
 
-from repro.core import CentralMemoryManager
-from repro.infra import ClusterSpec, FamSpec, build_cluster
-from repro.sim import Environment, StatSeries
+from repro.experiments import render, run_summary
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import memoize, print_table, run_proc
-
-OPS = 30
-SHARD_BYTES = 64 * 1024
-
-
-def build(parity: int):
-    env = Environment()
-    fams = [FamSpec(name=f"fam{i}", capacity_bytes=1 << 26)
-            for i in range(5)]
-    cluster = build_cluster(env, ClusterSpec(hosts=1, fams=fams))
-    host = cluster.host(0)
-    manager = CentralMemoryManager(env)
-    for i in range(5):
-        manager.register_chassis(
-            f"fam{i}",
-            spare_bases=[host.remote_base(f"fam{i}") + (8 << 20)])
-    shards = [(f"fam{i}", host.remote_base(f"fam{i}"))
-              for i in range(2 + parity)]
-    region = manager.create_region(host, "r0", shards,
-                                   shard_bytes=SHARD_BYTES,
-                                   parity=parity)
-    return env, host, manager, region
-
-
-def measure(parity: int) -> Dict[str, float]:
-    env, host, manager, region = build(parity)
-    healthy_reads = StatSeries("healthy")
-    writes = StatSeries("writes")
-    degraded_reads = StatSeries("degraded")
-
-    def go():
-        for i in range(OPS):
-            addr = (i * 640) % SHARD_BYTES
-            start = env.now
-            yield from region.write(addr)
-            writes.add(env.now - start)
-            start = env.now
-            yield from region.read(addr)
-            healthy_reads.add(env.now - start)
-        result = {"write_ns": writes.mean,
-                  "read_ns": healthy_reads.mean}
-        if parity > 0:
-            manager.chassis_failed("fam0")
-            for i in range(OPS):
-                addr = (i * 640) % SHARD_BYTES
-                start = env.now
-                yield from region.read(addr)
-                degraded_reads.add(env.now - start)
-            result["degraded_read_ns"] = degraded_reads.mean
-            start = env.now
-            yield from manager.reconstruct("r0")
-            result["rebuild_us"] = (env.now - start) / 1e3
-            start = env.now
-            yield from region.read(0)
-            result["post_rebuild_read_ns"] = env.now - start
-        return result
-
-    return run_proc(env, go(), horizon=500_000_000_000)
+from _common import memoize
 
 
 @memoize
 def collect() -> Dict[int, Dict[str, float]]:
-    return {parity: measure(parity) for parity in (0, 1, 2)}
+    raw = run_summary("reliability")["parity"]
+    return {int(parity): row for parity, row in raw.items()}
 
 
 def test_e1_parity_write_amplification_bounded(benchmark):
@@ -116,16 +54,8 @@ def test_e1_degraded_reads_pay_reconstruction(benchmark):
 
 
 def main() -> None:
-    results = collect()
-    rows = []
-    for parity, r in results.items():
-        rows.append([f"2+{parity}", r["write_ns"], r["read_ns"],
-                     r.get("degraded_read_ns", "-"),
-                     r.get("rebuild_us", "-")])
-    print_table("E1 (extension): erasure-coded FAM regions "
-                f"({SHARD_BYTES >> 10}KiB shards)",
-                ["shards", "write ns", "read ns", "degraded ns",
-                 "rebuild us"], rows)
+    render("reliability", summary={
+        "parity": {str(parity): row for parity, row in collect().items()}})
 
 
 if __name__ == "__main__":

@@ -2,16 +2,10 @@
 
 Section 4 (DP#2) points at node replication as the technique that
 "would benefit fabric-attached CC-NUMA memory nodes".  We sweep the
-read fraction of a two-host shared-counter workload and compare:
-
-* **direct** — every operation traverses the shared structure in
-  fabric memory (an 8-line walk, e.g. a small search-tree path);
-* **replicated** — the NR-style object: reads answer from the local
-  replica after a one-line tail probe, writes append one log entry.
-
-Expected shape: replication wins decisively for read-mostly workloads
-and loses its edge as the write fraction grows (every write still
-crosses the fabric, plus replay work on the other replica).
+read fraction of a two-host shared-counter workload and compare direct
+fabric access against the NR-style replicated object.  The builder
+lives in :mod:`repro.experiments.defs.memory` (experiment
+``replication``); this script is its benchmark/CLI wrapper.
 """
 
 from __future__ import annotations
@@ -19,69 +13,18 @@ from __future__ import annotations
 import sys
 from typing import Dict
 
-from repro.core import NodeReplicatedObject, UniFabric
-from repro.infra import ClusterSpec, build_cluster
-from repro.sim import Environment, SimRng
+from repro.experiments import render, run_summary
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import memoize, print_table, run_proc
+from _common import memoize
 
-OPS = 120
-STRUCTURE_LINES = 8     # lines a direct operation must touch (tree walk)
 READ_FRACTIONS = (0.5, 0.9, 0.99)
-
-
-def apply_counter(state, operation):
-    state["value"] = state.get("value", 0) + operation
-
-
-def run_mode(mode: str, read_fraction: float) -> float:
-    env = Environment()
-    cluster = build_cluster(env, ClusterSpec(hosts=2))
-    uni = UniFabric(env, cluster)
-    rng = SimRng(int(read_fraction * 100))
-    nr = NodeReplicatedObject(env, apply_counter,
-                              initial_state={"value": 0})
-    handles = {name: nr.attach(uni.heap(name),
-                               shared_tier="cpuless-numa")
-               for name in ("host0", "host1")}
-    regions = {name: cluster.hosts[name].address_map.resolve(
-        cluster.hosts[name].remote_base("fam0"))
-        for name in ("host0", "host1")}
-
-    def actor(name):
-        handle = handles[name]
-        region = regions[name]
-        for _ in range(OPS):
-            is_read = rng.bernoulli(read_fraction)
-            if mode == "replicated":
-                if is_read:
-                    yield from handle.read(lambda s: s["value"])
-                else:
-                    yield from handle.write(1)
-            else:
-                # Direct: walk the shared structure line by line.
-                for step in range(STRUCTURE_LINES):
-                    yield from region.backend(0x100000 + step * 64,
-                                              64, False)
-                if not is_read:
-                    yield from region.backend(0x100000, 64, True)
-
-    def go():
-        start = env.now
-        workers = [env.process(actor(name))
-                   for name in ("host0", "host1")]
-        yield env.all_of(workers)
-        return (env.now - start) / (2 * OPS)
-
-    return run_proc(env, go(), horizon=500_000_000_000)
 
 
 @memoize
 def collect() -> Dict[float, Dict[str, float]]:
-    return {fraction: {mode: run_mode(mode, fraction)
-                       for mode in ("direct", "replicated")}
-            for fraction in READ_FRACTIONS}
+    raw = run_summary("replication")["fractions"]
+    return {float(fraction): by_mode for fraction, by_mode in raw.items()}
 
 
 def test_e4_replication_wins_read_mostly(benchmark):
@@ -100,16 +43,8 @@ def test_e4_advantage_grows_with_read_fraction(benchmark):
 
 
 def main() -> None:
-    results = collect()
-    rows = []
-    for fraction, by_mode in results.items():
-        rows.append([f"{fraction:.0%}", by_mode["direct"],
-                     by_mode["replicated"],
-                     by_mode["direct"] / by_mode["replicated"]])
-    print_table(
-        "E4 (extension): shared counter, 2 hosts — direct fabric access "
-        "vs node replication",
-        ["reads", "direct ns/op", "replicated ns/op", "speedup"], rows)
+    render("replication", summary={
+        "fractions": {str(f): by_mode for f, by_mode in collect().items()}})
 
 
 if __name__ == "__main__":

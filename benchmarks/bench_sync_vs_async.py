@@ -3,60 +3,25 @@
 The paper's first difference: a memory fabric serves loads/stores
 synchronously from the memory hierarchy, while a communication fabric
 works in submission/completion rounds with stack, descriptor, and
-interrupt taxes.  We sweep transfer size and find the crossover: tiny
-transfers are dominated by the comm-fabric's fixed costs (the fabric
-wins by an order of magnitude at 64B); at large sizes the DMA engine's
-streaming bandwidth amortizes its taxes and the gap closes.
+interrupt taxes.  The builder lives in
+:mod:`repro.experiments.defs.fabric` (experiment ``sync_vs_async``);
+this script is its benchmark/CLI wrapper.
 """
 
 from __future__ import annotations
 
 import sys
-from typing import Dict, List
+from typing import List
 
-from repro.baselines import CommFabricChannel
-from repro.infra import ClusterSpec, build_cluster
-from repro.sim import Environment
+from repro.experiments import render, run_summary
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import memoize, print_table, run_proc
-
-SIZES = (64, 256, 1024, 4096, 16 * 1024, 64 * 1024)
-
-
-def fabric_latency(nbytes: int) -> float:
-    env = Environment()
-    cluster = build_cluster(env, ClusterSpec(hosts=1))
-    host = cluster.host(0)
-    base = host.remote_base("fam0")
-
-    def go():
-        start = env.now
-        yield from host.mem.access(base + 0x100000, False, nbytes)
-        return env.now - start
-
-    return run_proc(env, go())
-
-
-def dma_latency(nbytes: int) -> float:
-    env = Environment()
-    nic = CommFabricChannel(env)
-
-    def go():
-        return (yield from nic.remote_read(nbytes))
-
-    return run_proc(env, go())
+from _common import memoize
 
 
 @memoize
 def collect() -> List[dict]:
-    rows = []
-    for size in SIZES:
-        fabric = fabric_latency(size)
-        dma = dma_latency(size)
-        rows.append({"size": size, "fabric_ns": fabric, "dma_ns": dma,
-                     "ratio": dma / fabric})
-    return rows
+    return run_summary("sync_vs_async")["rows"]
 
 
 def test_s1_fabric_wins_small_transfers(benchmark):
@@ -76,10 +41,7 @@ def test_s1_gap_closes_with_size(benchmark):
 
 
 def main() -> None:
-    rows = [[r["size"], r["fabric_ns"], r["dma_ns"], r["ratio"]]
-            for r in collect()]
-    print_table("S1: remote read latency, fabric load/store vs DMA",
-                ["bytes", "fabric ns", "comm-fabric ns", "ratio"], rows)
+    render("sync_vs_async", summary={"rows": collect()})
 
 
 if __name__ == "__main__":

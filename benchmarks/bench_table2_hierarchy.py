@@ -8,10 +8,8 @@ Paper (Table 2, Omega Fabric testbed), 64B cacheline ops:
     local   111.7 / 29.4        119.3 / 16.9
     remote  1575.3 / 2.5        1613.3 / 2.5
 
-A single core streams 64B ops against working sets sized to pin each
-hierarchy level; throughput = min(issue rate, window/latency) with the
-windows documented in EXPERIMENTS.md.  C1 ("remote nearly 10x slower
-than local") falls out of the same rows.
+The builder lives in :mod:`repro.experiments.defs.tables` (experiment
+``table2_hierarchy``); this script is its benchmark/CLI wrapper.
 """
 
 from __future__ import annotations
@@ -19,94 +17,22 @@ from __future__ import annotations
 import sys
 
 from repro import params
-from repro.infra import ClusterSpec, build_cluster
-from repro.sim import Environment
+from repro.experiments import render, run_summary
+from repro.experiments.defs.tables import measure_level
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
-from _common import print_table, run_proc
-
-#: outstanding-op window per measured level (fitted; see EXPERIMENTS.md)
-WINDOWS = {"l1": 2, "l2": 2, "local": 3, "local_wr": 2, "remote": 4}
+from _common import memoize
 
 OPS = 400
 
 
-def _trace(level: str, is_write: bool, base: int):
-    """A stream that pins the requested level."""
-    if level == "l1":
-        # One hot line: always an L1 hit after warmup.
-        return [(base, is_write)] * OPS
-    if level == "l2":
-        # Cyclic scan of 64KB: thrashes the 32KB L1, fits the 1MB L2.
-        lines = [base + i * 64 for i in range(1024)]
-        scans = -(-OPS // len(lines)) + 1
-        return (lines * scans)[:OPS + 1024], is_write
-    if level == "local":
-        # Distinct far-apart lines: every access is a DRAM-cold miss.
-        return [(base + i * 4096, is_write) for i in range(OPS)]
-    if level == "remote":
-        return [(base + i * 4096, is_write) for i in range(OPS)]
-    raise ValueError(level)
-
-
 def measure(level: str, is_write: bool) -> dict:
-    env = Environment()
-    cluster = build_cluster(env, ClusterSpec(hosts=1))
-    host = cluster.host(0)
-    core = host.core(0)
-    base = host.remote_base("fam0") if level == "remote" else 1 << 20
-    window = WINDOWS["local_wr"] if (level == "local" and is_write) \
-        else WINDOWS[level]
-
-    if level in ("l1", "l2"):
-        if level == "l1":
-            warm = [(base, is_write)]
-            trace = [(base, is_write)] * OPS
-        else:
-            lines = [(base + i * 64, is_write) for i in range(1024)]
-            warm = lines
-            scans = -(-OPS // len(lines))
-            trace = (lines * scans)[:OPS]
-    else:
-        warm = []
-        trace = _trace(level, is_write, base)
-
-    def go():
-        if warm:
-            yield from core.run(warm, window=window)
-        stats = yield from core.run(trace, window=window)
-        return stats
-
-    stats = run_proc(env, go())
-    return {"level": level, "op": "write" if is_write else "read",
-            "latency_ns": stats.mean, "mops": stats.mops(),
-            "window": window}
+    return measure_level(level, is_write, ops=OPS)
 
 
-ROWS = [("l1", False), ("l1", True), ("l2", False), ("l2", True),
-        ("local", False), ("local", True), ("remote", False),
-        ("remote", True)]
-
-
+@memoize
 def collect() -> list:
-    results = []
-    for level, is_write in ROWS:
-        measured = measure(level, is_write)
-        key = (level, measured["op"])
-        paper_lat = {
-            ("l1", "read"): params.L1_READ_NS,
-            ("l1", "write"): params.L1_WRITE_NS,
-            ("l2", "read"): params.L2_READ_NS,
-            ("l2", "write"): params.L2_WRITE_NS,
-            ("local", "read"): params.LOCAL_MEM_READ_NS,
-            ("local", "write"): params.LOCAL_MEM_WRITE_NS,
-            ("remote", "read"): params.REMOTE_MEM_READ_NS,
-            ("remote", "write"): params.REMOTE_MEM_WRITE_NS,
-        }[key]
-        measured["paper_latency_ns"] = paper_lat
-        measured["paper_mops"] = params.PAPER_MOPS[key]
-        results.append(measured)
-    return results
+    return run_summary("table2_hierarchy")["rows"]
 
 
 # -- pytest-benchmark entry points -----------------------------------------
@@ -155,16 +81,7 @@ def test_c1_remote_local_ratio(benchmark):
 
 
 def main() -> None:
-    rows = []
-    for r in collect():
-        rows.append([f"{r['level']} {r['op']}", r["paper_latency_ns"],
-                     r["latency_ns"], r["paper_mops"], r["mops"],
-                     r["window"]])
-    print_table(
-        "Table 2: cacheline (64B) performance, paper vs simulated",
-        ["level/op", "paper ns", "sim ns", "paper MOPS", "sim MOPS",
-         "window"],
-        rows)
+    render("table2_hierarchy", summary={"rows": collect()})
 
 
 if __name__ == "__main__":

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import subprocess
 import sys
@@ -34,6 +35,7 @@ _HERE = Path(__file__).resolve().parent
 sys.path.insert(0, str(_HERE))
 sys.path.insert(0, str(_HERE.parent / "src"))
 
+from repro.experiments import run_summary  # noqa: E402
 from repro.sim import Environment, total_events_processed  # noqa: E402
 
 #: Seed-engine events/sec on this microbenchmark (200 procs x 2000
@@ -98,6 +100,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="reduced sizes, no BENCH file (CI gate)")
     parser.add_argument("--out", type=Path, default=None,
                         help="output path (default: next BENCH_<n>.json)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker count recorded in the BENCH "
+                             "metadata (the harness itself is serial; "
+                             "pass the value used for any companion "
+                             "`repro sweep` runs)")
     args = parser.parse_args(argv)
 
     experiments = []
@@ -143,8 +150,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     check("kernel_pool_filled", stats["pooled_timeouts"] > 0)
 
     # -- T2: memory-hierarchy latency matrix -----------------------------
-    import bench_table2_hierarchy as t2
-    rows, wall, events = _timed(t2.collect)
+    rows, wall, events = _timed(
+        lambda: run_summary("table2_hierarchy")["rows"])
     by_key = {(r["level"], r["op"]): r["latency_ns"] for r in rows}
     ratio = by_key[("remote", "read")] / by_key[("local", "read")]
     record("t2_hierarchy", wall, events, {
@@ -156,9 +163,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     check("t2_l1_fastest", by_key[("l1", "read")] < by_key[("local", "read")])
 
     # -- C2: PCIe interference sweep -------------------------------------
-    import bench_pcie_interference as c2
-    rows, wall, events = _timed(c2.sweep)
-    added = {hosts: add for hosts, _lat, add in rows}
+    rows, wall, events = _timed(
+        lambda: run_summary("pcie_interference")["rows"])
+    added = {r["hosts"]: r["added_ns"] for r in rows}
     record("c2_pcie_interference", wall, events,
            {"added_ns_by_hosts": {str(k): v for k, v in added.items()}})
     check("c2_no_interference_alone", added[1] == 0.0)
@@ -168,8 +175,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     check("c2_added_at_16_hosts_in_range", 300.0 <= added[16] <= 3000.0)
 
     # -- A1: data-movement ablation --------------------------------------
-    import bench_dp1_movement as a1
-    results, wall, events = _timed(a1.collect)
+    results, wall, events = _timed(
+        lambda: run_summary("dp1_movement")["modes"])
     record("a1_movement_ablation", wall, events, results)
     check("a1_managed_beats_naive", results["managed"] < results["naive-sync"])
     check("a1_prefetch_beats_naive",
@@ -245,8 +252,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     # -- report ----------------------------------------------------------
     payload = {
         "schema": 1,
-        "python": platform.python_version(),
+        "python_version": platform.python_version(),
         "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "workers": args.workers,
         "git_sha": git_sha(_HERE.parent),
         "smoke": args.smoke,
         "experiments": experiments,

@@ -20,7 +20,15 @@ Commands:
   transaction's critical path and print where the nanoseconds went
   (credit stalls vs queueing vs arbitration vs wire vs processing);
 * ``compare`` — diff two recorded JSON payloads (``BENCH_<n>.json`` or
-  ``repro why --json``) and exit non-zero on regressions.
+  ``repro why --json``) and exit non-zero on regressions;
+* ``list``    — every registered experiment and telemetry scenario with
+  a one-line description;
+* ``bench``   — run one registered experiment (``repro list`` names)
+  and print its paper-format table; ``--set name=value`` overrides a
+  typed parameter, ``--json`` emits the schema-stable result document;
+* ``sweep``   — run a declarative parameter sweep (JSON spec: one
+  experiment, axes of parameter values) across worker processes into a
+  resumable output directory with a merged, byte-stable report.
 """
 
 from __future__ import annotations
@@ -324,6 +332,69 @@ def cmd_check(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_list(args: argparse.Namespace) -> int:
+    """Print every registered experiment/scenario with a description."""
+    from .experiments import registry
+    rows = registry.describe()
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    width = max(len(row["name"]) for row in rows)
+    print(f"{'name':<{width}}  {'kind':<9} description")
+    print("-" * (width + 60))
+    for row in rows:
+        print(f"{row['name']:<{width}}  {row['kind']:<9} "
+              f"{row['description']}")
+    print(f"\n{len(rows)} registered; run one with `repro bench <name>` "
+          f"(scenarios also serve `repro trace/metrics/why`)")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run one registered experiment; print its table (or --json)."""
+    from .experiments import (ExperimentError, ExperimentSpec, get,
+                              render, run_experiment)
+    try:
+        defn = get(args.experiment)
+        overrides = {}
+        for item in args.set:
+            key, eq, text = item.partition("=")
+            if not eq:
+                raise ExperimentError(
+                    f"--set expects name=value, got {item!r}")
+            if key not in defn.params:
+                known = ", ".join(sorted(defn.params)) or "(none)"
+                raise ExperimentError(
+                    f"experiment {defn.name!r} has no parameter "
+                    f"{key!r}; known: {known}")
+            overrides[key] = defn.params[key].parse(key, text)
+        spec = ExperimentSpec(experiment=args.experiment,
+                              params=overrides, seed=args.seed)
+        result = run_experiment(spec)
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result, indent=2))
+        return 0
+    render(args.experiment, summary=result["outputs"]["summary"],
+           **overrides)
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run (or resume) a declarative sweep into ``--out``."""
+    from .experiments import (ExperimentError, load_sweep_spec,
+                              run_sweep)
+    try:
+        sweep = load_sweep_spec(args.spec)
+        run_sweep(sweep, args.out, workers=args.workers, progress=print)
+    except ExperimentError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -400,12 +471,44 @@ def main(argv: Optional[List[str]] = None) -> int:
     compare.add_argument("--threshold", type=float, default=0.10,
                          help="relative regression threshold "
                               "(default 0.10)")
+    list_parser = sub.add_parser(
+        "list", help="registered experiments and telemetry scenarios")
+    list_parser.add_argument("--json", action="store_true",
+                             help="machine-readable catalog "
+                                  "(schema-stable)")
+    bench = sub.add_parser(
+        "bench", help="run a registered experiment, print its table")
+    bench.add_argument("experiment",
+                       help="experiment name (see `repro list`)")
+    bench.add_argument("--set", action="append", default=[],
+                       metavar="NAME=VALUE",
+                       help="override a typed parameter; repeatable "
+                            "(list values are JSON, e.g. "
+                            "--set sizes='[64, 4096]')")
+    bench.add_argument("--seed", type=int, default=0,
+                       help="experiment seed (default 0)")
+    bench.add_argument("--json", action="store_true",
+                       help="print the schema-stable result document "
+                            "instead of the table")
+    sweep = sub.add_parser(
+        "sweep", help="run a parameter sweep from a JSON spec into a "
+                      "resumable output directory")
+    sweep.add_argument("spec", help="sweep spec JSON: {experiment, "
+                                    "sweep: {param: [values...]}, "
+                                    "params?, seed?, outputs?}")
+    sweep.add_argument("--out", required=True,
+                       help="output directory; re-running resumes, a "
+                            "different sweep's directory is refused")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (default 1; any count "
+                            "yields a byte-identical merged report)")
     args = parser.parse_args(argv)
     handler = {"info": cmd_info, "table2": cmd_table2,
                "demo": cmd_demo, "perf": cmd_perf,
                "check": cmd_check, "trace": cmd_trace,
                "metrics": cmd_metrics, "why": cmd_why,
-               "compare": cmd_compare}[args.command]
+               "compare": cmd_compare, "list": cmd_list,
+               "bench": cmd_bench, "sweep": cmd_sweep}[args.command]
     return handler(args)
 
 

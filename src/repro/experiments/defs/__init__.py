@@ -1,0 +1,8 @@
+"""Experiment definitions; importing this package registers them all."""
+
+from __future__ import annotations
+
+from . import cfc, fabric, memory, mimo, movement, scenarios, tables
+
+__all__ = ["cfc", "fabric", "memory", "mimo", "movement", "scenarios",
+           "tables"]

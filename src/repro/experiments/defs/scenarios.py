@@ -1,0 +1,40 @@
+"""Scenario-kind registrations for the canonical telemetry scenarios.
+
+The builders live in :mod:`repro.telemetry.scenarios`; registering
+them here lets ``repro trace``/``metrics``/``why``, ``repro bench``
+and the sweep driver resolve them by name like any other experiment.
+The generic runner attaches telemetry / causal tracing only when the
+``metrics`` / ``attribution`` outputs are requested — summaries are
+bit-identical either way (pinned by the telemetry tests).
+"""
+
+from __future__ import annotations
+
+from ...telemetry.sampler import DEFAULT_INTERVAL_NS
+from ...telemetry.scenarios import TELEMETRY_SCENARIOS
+from ..registry import ALL_OUTPUTS, ExperimentDef, Param, register
+
+_DESCRIPTIONS = {
+    "t2": "Timeline: the Table 2 hierarchy walk, one span per level",
+    "starvation": "Timeline: CFC quiet-flow starvation under ramp-up "
+                  "credits (C5)",
+    "interleave": "Timeline: 64B reads vs 16KB posted writes at a FIFO "
+                  "egress (C3)",
+}
+
+_SCENARIO_PARAMS = {
+    "interval_ns": Param(float, DEFAULT_INTERVAL_NS,
+                         "timeline sampler period"),
+    "causal_sample": Param(int, 1,
+                           "sample 1-in-N transaction roots"),
+}
+
+for _name, _build in TELEMETRY_SCENARIOS.items():
+    register(ExperimentDef(
+        name=_name,
+        description=_DESCRIPTIONS[_name],
+        run=None,
+        params=dict(_SCENARIO_PARAMS),
+        kind="scenario",
+        outputs=ALL_OUTPUTS,
+        scenario_build=_build))

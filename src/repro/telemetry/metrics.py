@@ -122,12 +122,19 @@ class Histogram:
             rows.append((low, float(2 ** index), self._buckets[index]))
         return rows
 
-    def quantile(self, q: float) -> float:
-        """Upper bound of the bucket holding the ``q`` quantile."""
+    def quantile(self, q: float) -> Optional[float]:
+        """Upper bound of the bucket holding the ``q`` quantile.
+
+        Returns ``None`` when the histogram has no observations: a
+        percentile snapshot of an idle series is an absent value, not
+        an error (``mean`` still raises — an average of nothing is a
+        caller bug, while dashboards legitimately snapshot idle
+        histograms).
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if not self.count:
-            raise ValueError(f"no observations in histogram {self.name!r}")
+            return None
         rank = q * self.count
         seen = 0
         for low, high, n in self.buckets():
@@ -144,9 +151,9 @@ class Histogram:
                 "sum": self.total,
                 "mean": self.total / self.count if self.count else None,
                 "min": self.minimum, "max": self.maximum,
-                "p50": self.quantile(0.50) if self.count else None,
-                "p95": self.quantile(0.95) if self.count else None,
-                "p99": self.quantile(0.99) if self.count else None,
+                "p50": self.quantile(0.50),
+                "p95": self.quantile(0.95),
+                "p99": self.quantile(0.99),
                 "buckets": [{"low": low, "high": high, "count": n}
                             for low, high, n in self.buckets()],
                 "last_time": self.last_time}

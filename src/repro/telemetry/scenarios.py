@@ -38,7 +38,7 @@ from .core import Telemetry, span
 from .sampler import DEFAULT_INTERVAL_NS, TimelineSampler
 
 __all__ = ["ScenarioResult", "TELEMETRY_SCENARIOS", "run_scenario",
-           "scenario_names"]
+           "run_scenario_build", "scenario_names"]
 
 
 @dataclasses.dataclass
@@ -263,15 +263,17 @@ TELEMETRY_SCENARIOS: Dict[str, Callable[[Environment], Dict[str, Any]]] = {
 
 
 def scenario_names():
-    return sorted(TELEMETRY_SCENARIOS)
+    from ..experiments import registry
+    return registry.names(kind="scenario")
 
 
-def run_scenario(name: str,
-                 interval_ns: float = DEFAULT_INTERVAL_NS,
-                 telemetry: bool = True,
-                 causal: bool = False,
-                 causal_sample: int = 1) -> ScenarioResult:
-    """Run one canonical scenario; raises ValueError on unknown names.
+def run_scenario_build(name: str,
+                       build: Callable[[Environment], Dict[str, Any]],
+                       interval_ns: float = DEFAULT_INTERVAL_NS,
+                       telemetry: bool = True,
+                       causal: bool = False,
+                       causal_sample: int = 1) -> ScenarioResult:
+    """The scenario engine: run ``build`` under the requested tracing.
 
     With ``telemetry=False`` the identical model runs bare — the
     bit-identity test and the overhead benchmark both lean on this.
@@ -279,12 +281,6 @@ def run_scenario(name: str,
     transaction root per ``causal_sample`` candidates); recording never
     touches the event queue, so summaries stay bit-identical either way.
     """
-    try:
-        build = TELEMETRY_SCENARIOS[name]
-    except KeyError:
-        raise ValueError(
-            f"unknown scenario {name!r}; choose from "
-            f"{', '.join(scenario_names())}") from None
     if causal and not telemetry:
         raise ValueError("causal tracing needs telemetry=True")
     instance: Any = telemetry
@@ -296,3 +292,22 @@ def run_scenario(name: str,
     summary = build(env)
     return ScenarioResult(name=name, env=env, telemetry=env.telemetry,
                           summary=summary)
+
+
+def run_scenario(name: str,
+                 interval_ns: float = DEFAULT_INTERVAL_NS,
+                 telemetry: bool = True,
+                 causal: bool = False,
+                 causal_sample: int = 1) -> ScenarioResult:
+    """Run one registered scenario; raises ValueError on unknown names.
+
+    Names resolve through the experiment registry (scenario-kind
+    entries), so anything registered there — including out-of-tree
+    additions — is reachable from ``repro trace``/``metrics``/``why``.
+    """
+    from ..experiments import registry
+    defn = registry.get(name, kind="scenario")
+    return run_scenario_build(name, defn.scenario_build,
+                              interval_ns=interval_ns,
+                              telemetry=telemetry, causal=causal,
+                              causal_sample=causal_sample)

@@ -1,0 +1,48 @@
+"""Golden-output pins for the migrated benchmark wrappers.
+
+Every ``benchmarks/bench_*.py`` was rewritten as a thin wrapper over
+the experiment registry (:mod:`repro.experiments`).  The files in
+``tests/golden/`` are the tables the pre-refactor scripts printed;
+these tests pin the wrappers to them byte for byte, so a registry or
+renderer change that alters any published number fails loudly.
+
+Regenerate a golden after an *intentional* change with::
+
+    PYTHONPATH=src python benchmarks/bench_<name>.py \
+        > tests/golden/bench_<name>.txt
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib
+import io
+import sys
+from pathlib import Path
+
+import pytest
+
+_REPO = Path(__file__).resolve().parent.parent
+_GOLDEN = Path(__file__).resolve().parent / "golden"
+_NAMES = sorted(p.stem for p in _GOLDEN.glob("bench_*.txt"))
+
+
+def test_every_bench_has_a_golden():
+    benches = sorted(p.stem for p in (_REPO / "benchmarks").glob(
+        "bench_*.py"))
+    assert benches == _NAMES
+
+
+@pytest.mark.parametrize("name", _NAMES)
+def test_bench_main_matches_golden(name):
+    # Import by module name: when the pytest-benchmark collection has
+    # already run this module's tests, its memoized collect() cache is
+    # warm and main() is nearly free.
+    if str(_REPO / "benchmarks") not in sys.path:
+        sys.path.insert(0, str(_REPO / "benchmarks"))
+    module = importlib.import_module(name)
+    captured = io.StringIO()
+    with contextlib.redirect_stdout(captured):
+        module.main()
+    expected = (_GOLDEN / f"{name}.txt").read_text()
+    assert captured.getvalue() == expected

@@ -93,3 +93,61 @@ class TestMetricsCli:
     def test_metrics_unknown_scenario_exits_two(self, capsys):
         assert main(["metrics", "nope"]) == 2
         assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestListCli:
+    def test_list_prints_catalog(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2_hierarchy" in out
+        assert "scenario" in out
+        assert "repro bench" in out
+
+    def test_list_json_is_schema_stable(self, capsys):
+        assert main(["list", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        names = [row["name"] for row in rows]
+        assert "flit_rtt" in names
+        assert "t2" in names
+        for row in rows:
+            assert set(row) == {"name", "kind", "description",
+                                "params", "outputs"}
+
+
+class TestBenchCli:
+    def test_bench_prints_table(self, capsys):
+        assert main(["bench", "flit_rtt", "--set", "max_hops=1",
+                     "--set", "pings=2"]) == 0
+        out = capsys.readouterr().out
+        assert "C4: unloaded 64B flit RTT" in out
+        assert "1 switch(es)" in out
+
+    def test_bench_json_document(self, capsys):
+        assert main(["bench", "flit_rtt", "--set", "max_hops=1",
+                     "--set", "pings=2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        assert payload["tool"] == "repro-experiments"
+        assert payload["params"]["max_hops"] == 1
+        assert payload["outputs"]["summary"]["rows"]
+
+    def test_bench_unknown_experiment_exits_two(self, capsys):
+        assert main(["bench", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment 'nope'" in err
+        assert "choose from" in err
+
+    def test_bench_unknown_parameter_exits_two(self, capsys):
+        assert main(["bench", "flit_rtt", "--set", "bogus=1"]) == 2
+        err = capsys.readouterr().err
+        assert "no parameter 'bogus'" in err
+        assert "max_hops" in err
+
+    def test_bench_malformed_set_exits_two(self, capsys):
+        assert main(["bench", "flit_rtt", "--set", "max_hops"]) == 2
+        assert "name=value" in capsys.readouterr().err
+
+    def test_bench_unparseable_value_exits_two(self, capsys):
+        assert main(["bench", "flit_rtt", "--set",
+                     "max_hops=lots"]) == 2
+        assert "cannot parse" in capsys.readouterr().err

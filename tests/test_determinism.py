@@ -39,10 +39,10 @@ def test_c2_interference_bit_identical(hosts):
 
 @pytest.mark.parametrize("mode", ["naive-sync", "prefetch", "managed"])
 def test_a1_movement_bit_identical(mode):
-    from bench_dp1_movement import run_case
+    from repro.experiments.defs.movement import run_movement_case
 
-    first, events_first = _counted(run_case, mode)
-    second, events_second = _counted(run_case, mode)
+    first, events_first = _counted(run_movement_case, mode)
+    second, events_second = _counted(run_movement_case, mode)
     assert first == second
     assert events_first == events_second
     assert events_first > 0

@@ -83,12 +83,24 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram("lat").observe(-1)
 
-    def test_empty_queries_raise(self):
+    def test_empty_mean_raises(self):
         hist = Histogram("lat")
         with pytest.raises(ValueError):
             hist.mean
+
+    def test_empty_quantiles_are_none(self):
+        # Percentile snapshots of an idle histogram are absent values,
+        # not errors: dashboards snapshot idle series all the time.
+        hist = Histogram("lat")
+        assert hist.quantile(0.5) is None
+        snapshot = hist.to_dict()
+        assert snapshot["count"] == 0
+        assert snapshot["p50"] is None
+        assert snapshot["p95"] is None
+        assert snapshot["p99"] is None
+        # Out-of-range q still raises, populated or not.
         with pytest.raises(ValueError):
-            hist.quantile(0.5)
+            hist.quantile(1.5)
 
 
 class TestEnvironmentHook:
