@@ -370,7 +370,17 @@ def cmd_bench(args: argparse.Namespace) -> int:
             overrides[key] = defn.params[key].parse(key, text)
         spec = ExperimentSpec(experiment=args.experiment,
                               params=overrides, seed=args.seed)
-        result = run_experiment(spec)
+        if args.profile:
+            import cProfile
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                result = run_experiment(spec)
+            finally:
+                profiler.disable()
+                profiler.dump_stats(args.profile)
+        else:
+            result = run_experiment(spec)
     except ExperimentError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -490,6 +500,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     bench.add_argument("--json", action="store_true",
                        help="print the schema-stable result document "
                             "instead of the table")
+    bench.add_argument("--profile", metavar="OUT.prof", default=None,
+                       help="run under cProfile and write pstats data "
+                            "to OUT.prof (inspect with python -m "
+                            "pstats)")
     sweep = sub.add_parser(
         "sweep", help="run a parameter sweep from a JSON spec into a "
                       "resumable output directory")

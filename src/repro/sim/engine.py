@@ -19,6 +19,20 @@ steady-state step — pop an event, run its single ``Process._resume``
 callback, let the process yield the next ``Timeout`` — is aggressively
 optimised:
 
+* When a timestamp bucket holds several NORMAL events and no pending
+  URGENT work, :meth:`Environment.run` drains the whole
+  ``(time, priority)`` run in one *batch*: a snapshot of the bucket is
+  dispatched through a tight loop with bound locals, and the ubiquitous
+  single-``Process._resume``-waiter shape is inlined (no callback
+  frame, cached ``generator.send``).  Batch order is exactly the
+  bucket's append order — i.e. seq order — URGENT arrivals are still
+  re-checked between events, and every identity-relevant side effect
+  (tombstone handling, pooling guards, failure surfacing) is the same
+  code path semantics as the scalar loop, so scheduling stays
+  bit-identical with batching on or off.  ``Environment(batch=False)``
+  (or ``REPRO_BATCH=0``) forces the scalar reference loop; sanitized
+  runs always use it.
+
 * ``Timeout`` objects (and the internal ``_Hook`` events used to start
   processes, deliver interrupts and re-fire already-processed events)
   are recycled through per-environment free lists, together with their
@@ -49,10 +63,12 @@ perf-regression harness in ``benchmarks/run_all.py``.
 from __future__ import annotations
 
 from heapq import heappop, heappush
+from os import environ
 from sys import getrefcount
 # Wall-clock is only read for Environment.stats busy-time counters; it
 # never feeds back into scheduling.
 from time import perf_counter   # fcc: allow[wall-clock]
+from types import MethodType
 from typing import Any, Callable, Dict, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -66,6 +82,8 @@ __all__ = [
     "SimulationError",
     "run_proc",
     "total_events_processed",
+    "batch_default",
+    "set_batch_default",
 ]
 
 # Scheduling priorities: URGENT fires before NORMAL at the same time.
@@ -75,7 +93,24 @@ NORMAL = 1
 _INF = float("inf")
 
 #: Upper bound on each free list; beyond this, events are left to the GC.
+#: The per-environment default; override with Environment(pool_limit=...).
 _POOL_LIMIT = 512
+
+#: Process-wide default for Environment(batch=...): batched dispatch is
+#: on unless REPRO_BATCH=0/off/false/no (the scalar reference loop).
+_BATCH_DEFAULT = environ.get("REPRO_BATCH", "1").strip().lower() \
+    not in ("0", "off", "false", "no")
+
+
+def batch_default() -> bool:
+    """The process-wide default for ``Environment(batch=...)``."""
+    return _BATCH_DEFAULT
+
+
+def set_batch_default(enabled: bool) -> None:
+    """Set the process-wide batching default (existing envs unaffected)."""
+    global _BATCH_DEFAULT
+    _BATCH_DEFAULT = bool(enabled)
 
 #: Process-wide count of events dispatched by every Environment, used by
 #: the perf harness to attribute events/sec to experiments that build
@@ -232,7 +267,7 @@ class Process(Event):
     """
 
     __slots__ = ("_generator", "_target", "name", "daemon", "_resume_cb",
-                 "_cb_index")
+                 "_cb_index", "_send", "_throw")
 
     def __init__(self, env: "Environment",
                  generator: Generator[Event, Any, Any],
@@ -243,8 +278,11 @@ class Process(Event):
         self._generator = generator
         self._target: Optional[Event] = None
         # Bound once: every attach/detach reuses the same bound method
-        # instead of allocating a fresh one per wait.
+        # instead of allocating a fresh one per wait; same for the
+        # generator's send/throw, which the dispatch loops call per event.
         self._resume_cb = self._resume
+        self._send = generator.send
+        self._throw = generator.throw
         self._cb_index = -1
         self.name = name or getattr(generator, "__name__", "process")
         #: Daemon processes are perpetual service loops (port receivers,
@@ -313,9 +351,9 @@ class Process(Event):
         env._active_process = self
         try:
             if event._ok:
-                next_event = self._generator.send(event._value)
+                next_event = self._send(event._value)
             else:
-                next_event = self._generator.throw(event._value)
+                next_event = self._throw(event._value)
         except StopIteration as stop:
             env._active_process = None
             if self._value is _PENDING:
@@ -479,13 +517,17 @@ class Environment:
 
     __slots__ = ("_now", "_times", "_buckets", "_bucket_pool",
                  "_active_process", "_timeout_pool", "_hook_pool",
-                 "_last_time", "_last_bucket",
+                 "_last_time", "_last_normal",
                  "_pending", "_events_processed", "_peak_queue",
-                 "_busy_seconds", "_sanitizer", "_telemetry")
+                 "_busy_seconds", "_sanitizer", "_telemetry",
+                 "_batch", "_pool_limit", "_pool_hits", "_pool_misses",
+                 "_elided", "_drain_batch", "_drain_iter", "_drain_until")
 
     def __init__(self, initial_time: float = 0.0, *,
                  sanitize: bool = False,
-                 telemetry: Any = None) -> None:
+                 telemetry: Any = None,
+                 batch: Optional[bool] = None,
+                 pool_limit: Optional[int] = None) -> None:
         self._now = float(initial_time)
         self._times: List[float] = []
         self._buckets: Dict[float, tuple] = {}
@@ -494,13 +536,35 @@ class Environment:
         self._timeout_pool: List[Timeout] = []
         self._hook_pool: List[_Hook] = []
         # One-entry bucket cache: synchronized models schedule many
-        # events at the same future time back to back.
+        # events at the same future time back to back.  Caches the
+        # NORMAL list directly — the only consumer is timeout().
         self._last_time: Optional[float] = None
-        self._last_bucket: Optional[tuple] = None
+        self._last_normal: Optional[list] = None
         self._pending = 0
         self._events_processed = 0
         self._peak_queue = 0
         self._busy_seconds = 0.0
+        # Batched dispatch (None: the process-wide default, see
+        # set_batch_default / REPRO_BATCH).  Bit-identical to the
+        # scalar loop; sanitized runs ignore it and stay scalar.
+        self._batch = _BATCH_DEFAULT if batch is None else bool(batch)
+        # Live batched-dispatch snapshot (run() only).  Scheduling an
+        # URGENT wakeup — or triggering the run's until_event — while a
+        # batch drains truncates the snapshot at the current position,
+        # so preemption points are honoured without a per-event check.
+        self._drain_batch: Optional[list] = None
+        self._drain_iter: Any = None
+        self._drain_until: Optional[Event] = None
+        if pool_limit is None:
+            pool_limit = _POOL_LIMIT
+        elif pool_limit < 0:
+            raise ValueError(f"pool_limit must be >= 0, got {pool_limit}")
+        self._pool_limit = int(pool_limit)
+        self._pool_hits = 0
+        self._pool_misses = 0
+        # Events a vectorized fabric fast path elided but credited (see
+        # credit_elided): counted into events_processed for bit-identity.
+        self._elided = 0
         # Opt-in runtime sanitizers (credit conservation, event
         # lifecycle, write races, drain deadlocks).  `None` keeps every
         # hot-path hook to a single is-None test; see
@@ -547,12 +611,20 @@ class Environment:
         return self._telemetry
 
     @property
+    def batch(self) -> bool:
+        """Whether batched dispatch (and vectorized fabric paths) is on."""
+        return self._batch
+
+    @property
     def stats(self) -> Dict[str, Any]:
         """Kernel counters: work done and how fast it was dispatched.
 
         ``events_per_sec`` is events over the wall-clock time spent
         inside :meth:`run`/:meth:`step` (simulated time never touches a
         wall clock); it is the perf-harness headline number.
+        ``events_processed`` includes elided-but-credited events (see
+        :meth:`credit_elided`) so it is bit-identical with batching on
+        or off; ``events_elided`` says how many were credited.
         """
         busy = self._busy_seconds
         return {
@@ -562,6 +634,11 @@ class Environment:
             "peak_queue_depth": self._peak_queue,
             "pooled_timeouts": len(self._timeout_pool),
             "pooled_hooks": len(self._hook_pool),
+            "batch": self._batch,
+            "events_elided": self._elided,
+            "pool_limit": self._pool_limit,
+            "pool_hits": self._pool_hits,
+            "pool_misses": self._pool_misses,
         }
 
     # -- scheduling ------------------------------------------------------
@@ -582,6 +659,25 @@ class Environment:
         event._scheduled = True
         self._bucket(self._now + delay)[priority].append(event)
         self._pending += 1
+        batch = self._drain_batch
+        if batch is not None and (
+                priority == URGENT or
+                ((u := self._drain_until) is not None
+                 and u._value is not _PENDING)):
+            self._truncate_drain(batch)
+
+    def _truncate_drain(self, batch: list) -> None:
+        """Cut the live batched-dispatch snapshot at the current event.
+
+        Called when an URGENT wakeup lands (or the run's until_event
+        triggers) mid-batch: everything after the event currently being
+        dispatched is dropped from the snapshot, so the batch loop
+        exits after finishing it — exactly where the scalar loop's
+        per-event preemption checks would have stopped.  Spurious cuts
+        are harmless: the remaining events re-dispatch through the
+        scalar loop in identical order.
+        """
+        del batch[len(batch) - self._drain_iter.__length_hint__():]
 
     def _schedule_hook(self, callback: Callable[[Event], None],
                        priority: int, ok: bool, value: Any) -> "_Hook":
@@ -598,6 +694,7 @@ class Environment:
             hook._value = value
             hook._processed = False
             hook.callbacks.append(callback)
+            self._pool_hits += 1
         else:
             hook = _Hook.__new__(_Hook)
             hook.env = self
@@ -607,9 +704,64 @@ class Environment:
             hook._value = value
             hook._processed = False
             hook._scheduled = True
+            self._pool_misses += 1
         self._bucket(self._now)[priority].append(hook)
         self._pending += 1
+        batch = self._drain_batch
+        if batch is not None and (
+                priority == URGENT or
+                ((u := self._drain_until) is not None
+                 and u._value is not _PENDING)):
+            self._truncate_drain(batch)
         return hook
+
+    def _schedule_hook_at(self, time: float,
+                          callback: Callable[[Event], None],
+                          ok: bool, value: Any) -> "_Hook":
+        """A pooled single-callback wakeup at an absolute future time.
+
+        The vectorized fabric paths use this to land completion sweeps
+        on exact precomputed timestamps (``now + (t - now)`` does not
+        round-trip under IEEE arithmetic, so a delay-based wakeup could
+        miss the bucket the scalar path used).  Fires at NORMAL
+        priority, exactly where the scalar path's Timeout would have.
+        """
+        pool = self._hook_pool
+        if pool:
+            hook = pool.pop()
+            hook._ok = ok
+            hook._value = value
+            hook._processed = False
+            hook.callbacks.append(callback)
+            self._pool_hits += 1
+        else:
+            hook = _Hook.__new__(_Hook)
+            hook.env = self
+            hook.callbacks = [callback]
+            hook._waiter = None
+            hook._ok = ok
+            hook._value = value
+            hook._processed = False
+            hook._scheduled = True
+            self._pool_misses += 1
+        self._bucket(time)[NORMAL].append(hook)
+        self._pending += 1
+        return hook
+
+    def credit_elided(self, n: int) -> None:
+        """Account ``n`` scalar-path events a vectorized path elided.
+
+        The batched fabric paths collapse deterministic event chains
+        (serialize → propagate → deliver per flit) into closed-form
+        schedules; the chain length is known exactly, so crediting it
+        keeps ``events_processed`` (and the process-wide total) bit-
+        identical between batched and scalar runs while the wall clock
+        drops.
+        """
+        self._elided += n
+        self._events_processed += n
+        global _total_events
+        _total_events += n
 
     # -- factories -------------------------------------------------------
 
@@ -629,6 +781,7 @@ class Environment:
             timeout = pool.pop()
             timeout._value = value
             timeout._processed = False
+            self._pool_hits += 1
         else:
             timeout = Timeout.__new__(Timeout)
             timeout.env = self
@@ -638,10 +791,11 @@ class Environment:
             timeout._value = value
             timeout._processed = False
             timeout._scheduled = True
+            self._pool_misses += 1
         timeout.delay = delay
         time = self._now + delay
         if time == self._last_time:
-            bucket = self._last_bucket
+            self._last_normal.append(timeout)   # NORMAL priority
         else:
             bucket = self._buckets.get(time)
             if bucket is None:
@@ -650,8 +804,58 @@ class Environment:
                 self._buckets[time] = bucket
                 heappush(self._times, time)
             self._last_time = time
-            self._last_bucket = bucket
-        bucket[1].append(timeout)   # NORMAL priority
+            self._last_normal = bucket[1]
+            bucket[1].append(timeout)
+        self._pending += 1
+        return timeout
+
+    def timeout_at(self, time: float, value: Any = None) -> Timeout:
+        """A :class:`Timeout` firing exactly at absolute ``time``.
+
+        ``timeout(time - now)`` schedules at ``now + (time - now)``,
+        which under IEEE rounding is not always ``time``; this lands on
+        the exact float, which the vectorized fabric paths need to
+        resume precisely where the scalar event chain would have.
+        """
+        now = self._now
+        if time < now:
+            raise ValueError(f"timeout_at({time}) is in the past "
+                             f"(now={now})")
+        if self._sanitizer is not None:
+            # Sanitized path: full construction (no recycling) so the
+            # sanitizer sees the whole lifecycle; scheduled by hand to
+            # land on the exact absolute time.
+            timeout = Timeout.__new__(Timeout)
+            timeout.env = self
+            timeout.callbacks = []
+            timeout._waiter = None
+            timeout._ok = True
+            timeout._value = value
+            timeout._processed = False
+            timeout._scheduled = True
+            timeout.delay = time - now
+            self._sanitizer.on_created(timeout)
+            self._bucket(time)[NORMAL].append(timeout)
+            self._pending += 1
+            return timeout
+        pool = self._timeout_pool
+        if pool:
+            timeout = pool.pop()
+            timeout._value = value
+            timeout._processed = False
+            self._pool_hits += 1
+        else:
+            timeout = Timeout.__new__(Timeout)
+            timeout.env = self
+            timeout.callbacks = []
+            timeout._waiter = None
+            timeout._ok = True
+            timeout._value = value
+            timeout._processed = False
+            timeout._scheduled = True
+            self._pool_misses += 1
+        timeout.delay = time - now
+        self._bucket(time)[NORMAL].append(timeout)
         self._pending += 1
         return timeout
 
@@ -673,7 +877,7 @@ class Environment:
         heappop(self._times)
         if time == self._last_time:
             self._last_time = None
-            self._last_bucket = None
+            self._last_normal = None
         if len(self._bucket_pool) < 64:
             self._bucket_pool.append(bucket)
 
@@ -754,11 +958,17 @@ class Environment:
         hook_pool = self._hook_pool
         timeout_cls = Timeout
         hook_cls = _Hook
+        process_cls = Process
+        method_type = MethodType
+        resume_fn = Process._resume
         refcount = getrefcount
-        pool_limit = _POOL_LIMIT
+        pool_limit = self._pool_limit
         pending_sentinel = _PENDING
         san = self._sanitizer
+        use_batch = self._batch and san is None
+        use_pool = pool_limit > 0
         check_event = until_event is not None
+        self._drain_until = until_event
         processed = 0
         done = False
         t0 = perf_counter()
@@ -781,6 +991,197 @@ class Environment:
                 nlen = len(normal)
                 try:
                     while True:
+                        if use_batch and not urgent and \
+                                (nlen := len(normal)) - ni >= 4:
+                            # Batched dispatch: drain this whole
+                            # (time, NORMAL) run through a snapshot
+                            # loop.  Iteration order is the bucket's
+                            # append order — exactly seq order.  The
+                            # scalar loop's per-event preemption
+                            # checks (URGENT arrivals, until_event
+                            # triggering) are enforced by the
+                            # scheduler instead: _schedule /
+                            # _schedule_hook truncate the registered
+                            # snapshot at the current position, which
+                            # ends this loop after the in-flight
+                            # event — the same place the scalar loop
+                            # would stop — at zero per-event cost.
+                            # The cursor and the processed counter
+                            # advance once per exit (the consumed
+                            # count falls out of len(batch) and the
+                            # iterator's remaining length).
+                            batch = normal[ni:nlen]
+                            batch_iter = iter(batch)
+                            self._drain_batch = batch
+                            self._drain_iter = batch_iter
+                            try:
+                                for event in batch_iter:
+                                    callbacks = event.callbacks
+                                    event.callbacks = None
+                                    waiter = event._waiter
+                                    if waiter is not None:
+                                        event._waiter = None
+                                        if waiter.__class__ \
+                                                is method_type \
+                                                and waiter.__func__ \
+                                                is resume_fn:
+                                            # Inlined Process._resume
+                                            # for the single-waiter
+                                            # shape: no callback frame,
+                                            # cached generator
+                                            # send/throw.
+                                            proc = waiter.__self__
+                                            if proc._value \
+                                                    is pending_sentinel:
+                                                target = proc._target
+                                                if target is not event \
+                                                        and target \
+                                                        is not None \
+                                                        and target.callbacks \
+                                                        is not None:
+                                                    proc._detach(target)
+                                                proc._target = None
+                                                # Drop the local ref so
+                                                # the pooling refcount
+                                                # guard below sees only
+                                                # the kernel's
+                                                # references.
+                                                target = None
+                                                self._active_process = \
+                                                    proc
+                                                try:
+                                                    if event._ok:
+                                                        nxt = proc._send(
+                                                            event._value)
+                                                    else:
+                                                        nxt = proc._throw(
+                                                            event._value)
+                                                except StopIteration \
+                                                        as stop_:
+                                                    if proc._value is \
+                                                            pending_sentinel:
+                                                        proc._ok = True
+                                                        proc._value = \
+                                                            stop_.value
+                                                        self._schedule(
+                                                            proc, NORMAL)
+                                                except BaseException \
+                                                        as exc:
+                                                    if proc._value is \
+                                                            pending_sentinel:
+                                                        proc._ok = False
+                                                        proc._value = exc
+                                                        self._schedule(
+                                                            proc, NORMAL)
+                                                else:
+                                                    if nxt.__class__ \
+                                                            is timeout_cls \
+                                                            and (cbs2 :=
+                                                                 nxt.callbacks) \
+                                                            is not None:
+                                                        if nxt._waiter \
+                                                                is None \
+                                                                and not cbs2:
+                                                            nxt._waiter = \
+                                                                waiter
+                                                        else:
+                                                            proc._cb_index = \
+                                                                len(cbs2)
+                                                            cbs2.append(
+                                                                waiter)
+                                                        proc._target = nxt
+                                                    else:
+                                                        proc._wait_slow(nxt)
+                                        else:
+                                            # Plain-callable waiter: it
+                                            # must observe the same
+                                            # active_process the scalar
+                                            # loop would give it (None
+                                            # — no resume in flight).
+                                            self._active_process = None
+                                            waiter(event)
+                                        if callbacks:
+                                            self._active_process = None
+                                            for callback in callbacks:
+                                                if callback is not None:
+                                                    callback(event)
+                                    else:
+                                        self._active_process = None
+                                        fired = False
+                                        for callback in callbacks:
+                                            if callback is not None:
+                                                callback(event)
+                                                fired = True
+                                        if not fired and not event._ok \
+                                                and not isinstance(
+                                                    event, process_cls):
+                                            event._processed = True
+                                            raise event._value
+                                    # Recycle when the kernel holds the
+                                    # last references: the bucket slot,
+                                    # the batch snapshot slot, local
+                                    # `event`, and getrefcount's
+                                    # argument.  The pool cap is
+                                    # enforced by a single trim after
+                                    # the batch (pool membership is
+                                    # never model-visible), and the
+                                    # processed flag is only written
+                                    # when the event survives — a
+                                    # recycled event has provably no
+                                    # model references left to observe
+                                    # it, and the next pool pop resets
+                                    # the flag anyway.
+                                    if event.__class__ is timeout_cls:
+                                        if use_pool \
+                                                and refcount(event) == 4:
+                                            if callbacks:
+                                                callbacks.clear()
+                                            event.callbacks = callbacks
+                                            timeout_pool.append(event)
+                                        else:
+                                            event._processed = True
+                                    elif event.__class__ is hook_cls:
+                                        if use_pool \
+                                                and refcount(event) == 4:
+                                            if callbacks:
+                                                callbacks.clear()
+                                            event.callbacks = callbacks
+                                            hook_pool.append(event)
+                                        else:
+                                            event._processed = True
+                                    else:
+                                        event._processed = True
+                            except BaseException:
+                                # The raising event counts as consumed
+                                # (the scalar loop advances its cursor
+                                # before dispatching) so the cleanup
+                                # below drops it and a re-entered run
+                                # cannot re-fire it.
+                                k = len(batch) \
+                                    - batch_iter.__length_hint__()
+                                ni += k
+                                processed += k
+                                self._drain_batch = None
+                                self._drain_iter = None
+                                self._active_process = None
+                                if len(timeout_pool) > pool_limit:
+                                    del timeout_pool[pool_limit:]
+                                if len(hook_pool) > pool_limit:
+                                    del hook_pool[pool_limit:]
+                                raise
+                            # Exhausted (possibly truncated): every
+                            # event still in the snapshot was consumed.
+                            k = len(batch)
+                            ni += k
+                            processed += k
+                            self._drain_batch = None
+                            self._drain_iter = None
+                            self._active_process = None
+                            if len(timeout_pool) > pool_limit:
+                                del timeout_pool[pool_limit:]
+                            if len(hook_pool) > pool_limit:
+                                del hook_pool[pool_limit:]
+                            continue
                         if check_event and \
                                 until_event._value is not pending_sentinel:
                             done = True
@@ -867,6 +1268,7 @@ class Environment:
                 if done:
                     break
         finally:
+            self._drain_until = None
             self._busy_seconds += perf_counter() - t0
             self._events_processed += processed
             self._pending -= processed

@@ -248,11 +248,18 @@ class Store:
                     get_waiters[:] = keep
             put_waiters = self._put_waiters
             if put_waiters:
-                keep = [event for event in put_waiters
-                        if not event.triggered and not self._do_put(event)]
-                if len(keep) != len(put_waiters):
+                # Puts are unconditional appends, so the first one that
+                # finds the store full means every later one would too:
+                # serve the longest possible prefix and stop, instead of
+                # probing all N blocked writers on every trigger.
+                served = 0
+                for event in put_waiters:
+                    if not event.triggered and not self._do_put(event):
+                        break
+                    served += 1
+                if served:
                     progressed = True
-                    put_waiters[:] = keep
+                    del put_waiters[:served]
 
 
 _NOTHING = object()

@@ -151,3 +151,14 @@ class TestBenchCli:
         assert main(["bench", "flit_rtt", "--set",
                      "max_hops=lots"]) == 2
         assert "cannot parse" in capsys.readouterr().err
+
+    def test_bench_profile_writes_pstats_file(self, capsys, tmp_path):
+        out = tmp_path / "bench.prof"
+        assert main(["bench", "flit_rtt", "--set", "max_hops=1",
+                     "--set", "pings=2", "--json",
+                     "--profile", str(out)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["outputs"]["summary"]["rows"]
+        import pstats
+        stats = pstats.Stats(str(out))
+        assert stats.total_calls > 0
