@@ -9,8 +9,13 @@ crash; they just quietly move numbers.  This package proves the
 invariants instead of sampling them:
 
 * :mod:`repro.analysis.lint` — an AST-based, pluggable static checker
-  (stdlib ``ast`` only) with determinism rules FCC001..FCC005; see
-  :mod:`repro.analysis.checks`.
+  (stdlib ``ast`` only) with per-file determinism rules
+  FCC001..FCC007; see :mod:`repro.analysis.checks`.
+* :mod:`repro.analysis.program` — the whole-program engine: one
+  :class:`~repro.analysis.program.ProjectIndex` over the package, a
+  conservative call graph, and interprocedural rules FCC101..FCC103
+  (determinism taint, static write-race, batch-protocol conformance)
+  with baseline gating and SARIF export.
 * :mod:`repro.analysis.sanitizers` — opt-in runtime sanitizers hooked
   into the simulation kernel via ``Environment(sanitize=True)``:
   credit conservation, event lifecycle, same-timestamp write-write
@@ -18,8 +23,9 @@ invariants instead of sampling them:
 * :mod:`repro.analysis.runners` — canonical sanitized experiment runs
   for ``repro check --sanitize <experiment>``.
 
-Both heads surface through ``python -m repro check`` (also installed
-as the ``repro`` console script).
+All heads surface through ``python -m repro check`` (also installed
+as the ``repro`` console script): ``--lint``, ``--program``,
+``--sanitize``, ``--explain``.
 """
 
 from .lint import LintCheck, Violation, run_lint, violations_to_json

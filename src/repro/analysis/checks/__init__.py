@@ -30,6 +30,10 @@ new module here, give it the next free ``FCCnnn`` code and a slug, and
 append the class to :data:`CHECKS`.  Fixture-test it in
 ``tests/test_analysis_lint.py`` (one bad fixture per rule, and keep
 ``tests/fixtures/lint/clean.py`` clean).
+
+These rules are all *per-file*.  Their interprocedural closure —
+FCC101..FCC103 over the whole package at once — lives in
+:mod:`repro.analysis.program`.
 """
 
 from .eager_format import EagerFormatCheck

@@ -68,6 +68,18 @@ class EagerFormatCheck(LintCheck):
     slug = "eager-format"
     summary = ("string formatted per-event inside a telemetry/trace "
                "call; format once at construction or pass raw values")
+    rationale = (
+        "An f-string / %-format / .format argument inside a per-event "
+        "telemetry call (record/span/instant/inc/observe) is built on "
+        "every event even when telemetry is off, turning a one-branch "
+        "no-op into allocation on the hot path.  Hoist the formatting to "
+        "construction time or pass the raw value.")
+    example_fix = (
+        "bad:   tracer.record(env.now, f\"fwd {flit!r}\")   # per-event "
+        "repr\n"
+        "good:  self._site = f\"pcie.{name}.egress\"         # once, in "
+        "__init__\n"
+        "       tracer.record(env.now, self._site)")
 
     def violations(self, source: SourceFile,
                    tree: ast.Module) -> Iterator[Violation]:

@@ -46,6 +46,17 @@ class GeneratorReturnCheck(LintCheck):
     slug = "generator-return"
     summary = ("generator process returns a value before its first "
                "yield (finishes in zero simulated time)")
+    rationale = (
+        "A simulation process is a generator; `return x` before the first "
+        "yield means the process ends at spawn time without ever blocking "
+        "on an event, so its whole body runs at t=0 and any value is "
+        "silently discarded by env.process().  Almost always a forgotten "
+        "yield or a helper that should be called with `yield from`.")
+    example_fix = (
+        "bad:   def proc(env):\n           return compute()   # never "
+        "yields\n"
+        "good:  def proc(env):\n           yield env.timeout(10.0)\n"
+        "           return compute()   # retrieved via `yield from proc(env)`")
 
     def violations(self, source: SourceFile,
                    tree: ast.Module) -> Iterator[Violation]:

@@ -52,6 +52,16 @@ class MutableStateCheck(LintCheck):
     slug = "mutable-state"
     summary = ("mutable default argument or module-level mutable "
                "container (cross-run state)")
+    rationale = (
+        "Mutable defaults are evaluated once at import and shared by every "
+        "call, and a module-level list/dict/set survives between "
+        "environments in one interpreter — both smuggle state across runs "
+        "past the seed, so experiment *order* changes results.  UPPER_CASE "
+        "constants and dunders are allowed by convention.")
+    example_fix = (
+        "bad:   def record(sample, acc=[]): acc.append(sample)\n"
+        "good:  def record(sample, acc=None):\n"
+        "           acc = [] if acc is None else acc")
 
     def violations(self, source: SourceFile,
                    tree: ast.Module) -> Iterator[Violation]:

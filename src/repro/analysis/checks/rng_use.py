@@ -28,6 +28,18 @@ class SeededRngCheck(LintCheck):
     slug = "seeded-rng"
     summary = ("direct random/numpy.random use; draw from the seeded "
                "repro.sim.SimRng stream instead")
+    rationale = (
+        "Global RNG state decouples a run from its seed: one extra draw "
+        "anywhere reshuffles every draw after it, and numpy's module-level "
+        "generator is shared across experiments in one interpreter.  All "
+        "randomness must flow from the experiment seed through an explicit "
+        "repro.sim.SimRng (fork sub-streams with rng.fork(tag)).")
+    example_fix = (
+        "bad:   import random; delay = random.random() * 10\n"
+        "good:  delay = rng.uniform(0.0, 10.0)   # rng: SimRng from the "
+        "experiment seed\n"
+        "numpy: gen = rng.numpy_generator()      # instead of "
+        "np.random.default_rng()")
     exempt = ("repro/sim/rng.py",)
 
     def violations(self, source: SourceFile,

@@ -43,6 +43,14 @@ class SpanContextCheck(LintCheck):
     slug = "span-context"
     summary = ("span(...) not used as a context manager; the duration "
                "is recorded only when the `with` block exits")
+    rationale = (
+        "span(env, ...) returns a context manager; calling it without "
+        "entering it (`with span(...):`) records nothing — the begin/end "
+        "pair fires in __enter__/__exit__ — so the timed region silently "
+        "vanishes from every trace.")
+    example_fix = (
+        "bad:   span(env, \"switch.fwd\"); do_work()\n"
+        "good:  with span(env, \"switch.fwd\"):\n           do_work()")
 
     def violations(self, source: SourceFile,
                    tree: ast.Module) -> Iterator[Violation]:

@@ -46,6 +46,16 @@ class UnorderedIterCheck(LintCheck):
     slug = "unordered-iter"
     summary = ("iteration over an unordered set; wrap in sorted() "
                "before it feeds the scheduler")
+    rationale = (
+        "Iteration order eventually becomes scheduler registration order, "
+        "which becomes the tie-break at equal timestamps.  set iteration "
+        "depends on insertion history and hash randomization, so a loop "
+        "over a set can reorder otherwise-identical runs.  Wrap the set in "
+        "sorted(), or keep a list/dict (both preserve insertion order).")
+    example_fix = (
+        "bad:   for flow in {f.name for f in flows}: domain.register(flow)\n"
+        "good:  for flow in sorted(f.name for f in flows): "
+        "domain.register(flow)")
 
     def violations(self, source: SourceFile,
                    tree: ast.Module) -> Iterator[Violation]:

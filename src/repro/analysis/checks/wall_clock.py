@@ -36,6 +36,18 @@ class WallClockCheck(LintCheck):
     slug = "wall-clock"
     summary = ("wall-clock read in simulation code; use env.now "
                "(benchmarks/ is exempt)")
+    rationale = (
+        "Simulated time is env.now; a host-clock read (time.time, "
+        "perf_counter, datetime.now) leaking into model state makes the "
+        "same seed produce different runs on a loaded machine.  "
+        "benchmarks/ measures wall-clock on purpose and is exempt; the "
+        "kernel's own perf counters carry pragmas because they feed a "
+        "report, never the schedule.")
+    example_fix = (
+        "bad:   start = time.perf_counter(); ...; lat = "
+        "time.perf_counter() - start\n"
+        "good:  start = env.now; yield from port.send(flit); lat = "
+        "env.now - start")
     exempt = ("/benchmarks/",)
 
     def violations(self, source: SourceFile,

@@ -30,7 +30,8 @@ from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
 
 __all__ = ["Violation", "SourceFile", "LintCheck", "run_lint",
-           "violations_to_json", "iter_source_files"]
+           "violations_to_json", "iter_source_files",
+           "default_lint_roots"]
 
 #: ``# fcc: allow`` or ``# fcc: allow[slug-or-code, ...]``
 _PRAGMA = re.compile(r"#\s*fcc:\s*allow(?:\[([A-Za-z0-9_,\-\s]+)\])?")
@@ -38,7 +39,13 @@ _PRAGMA = re.compile(r"#\s*fcc:\s*allow(?:\[([A-Za-z0-9_,\-\s]+)\])?")
 
 @dataclasses.dataclass(frozen=True, order=True)
 class Violation:
-    """One rule hit at one source location."""
+    """One rule hit at one source location.
+
+    ``end_line`` is the last physical line of the offending statement
+    (== ``line`` for single-line sites); pragma suppression honors any
+    line in the ``[line, end_line]`` span, so a ``# fcc: allow[...]``
+    on the closing paren of a multi-line call still counts.
+    """
 
     path: str
     line: int
@@ -46,6 +53,11 @@ class Violation:
     code: str
     rule: str
     message: str
+    end_line: int = 0
+
+    def __post_init__(self) -> None:
+        if self.end_line < self.line:
+            object.__setattr__(self, "end_line", self.line)
 
     def format(self) -> str:
         return (f"{self.path}:{self.line}:{self.col}: "
@@ -79,11 +91,18 @@ class SourceFile:
         return ast.parse(self.text, filename=self.display)
 
     def suppressed(self, violation: Violation) -> bool:
-        rules = self.allowed.get(violation.line)
-        if not rules:
-            return False
-        return ("*" in rules or violation.rule in rules
-                or violation.code.lower() in rules)
+        # A multi-line statement is reported at its first line but may
+        # carry the pragma on any of its physical lines (typically the
+        # closing one); scan the statement's whole span.
+        last = max(violation.end_line, violation.line)
+        for lineno in range(violation.line, last + 1):
+            rules = self.allowed.get(lineno)
+            if not rules:
+                continue
+            if ("*" in rules or violation.rule in rules
+                    or violation.code.lower() in rules):
+                return True
+        return False
 
 
 class LintCheck:
@@ -97,6 +116,10 @@ class LintCheck:
     code: str = "FCC000"
     slug: str = "base"
     summary: str = ""
+    #: why the rule exists — shown by ``repro check --explain FCCnnn``
+    rationale: str = ""
+    #: a minimal bad/good pair demonstrating the fix, for --explain
+    example_fix: str = ""
     #: path fragments (``/``-separated) this rule never applies to
     exempt: Sequence[str] = ()
 
@@ -110,10 +133,12 @@ class LintCheck:
 
     def hit(self, source: SourceFile, node: ast.AST,
             message: str) -> Violation:
+        line = getattr(node, "lineno", 0)
         return Violation(path=source.display,
-                         line=getattr(node, "lineno", 0),
+                         line=line,
                          col=getattr(node, "col_offset", 0),
-                         code=self.code, rule=self.slug, message=message)
+                         code=self.code, rule=self.slug, message=message,
+                         end_line=getattr(node, "end_lineno", None) or line)
 
 
 def default_lint_root() -> Path:
@@ -121,13 +146,38 @@ def default_lint_root() -> Path:
     return Path(__file__).resolve().parents[1]
 
 
+def default_lint_roots() -> List[Path]:
+    """The no-path lint targets: the package, plus — when running from
+    a source checkout — ``tests/`` and ``benchmarks/`` beside ``src/``.
+
+    Test and benchmark code feeds the same determinism contract as the
+    package (a wall-clock read in a golden-table test is just as
+    corrosive), so the CI gate covers all three.  Installed-package
+    runs simply won't find the sibling directories.
+    """
+    package = default_lint_root()
+    roots = [package]
+    checkout = package.parent.parent
+    for sibling in ("tests", "benchmarks"):
+        candidate = checkout / sibling
+        if candidate.is_dir():
+            roots.append(candidate)
+    return roots
+
+
 def iter_source_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Expand files/directories into ``*.py`` files, depth-first sorted.
+
+    Directories named ``fixtures`` are skipped during recursive walks:
+    lint fixtures *intentionally* violate rules (they are the lint's
+    own test inputs), so they only lint when named explicitly.
+    """
     for path in paths:
         if path.is_dir():
             for child in sorted(path.rglob("*.py")):
                 parts = child.relative_to(path).parts
-                if any(p == "__pycache__" or p.startswith(".")
-                       for p in parts):
+                if any(p == "__pycache__" or p == "fixtures"
+                       or p.startswith(".") for p in parts):
                     continue
                 yield child
         elif path.suffix == ".py":
@@ -147,7 +197,7 @@ def run_lint(paths: Optional[Sequence[Path]] = None,
     Unparseable files produce a single ``FCC000 [syntax]`` violation
     rather than aborting the run.
     """
-    targets = [Path(p) for p in paths] if paths else [default_lint_root()]
+    targets = [Path(p) for p in paths] if paths else default_lint_roots()
     active = list(checks) if checks is not None else all_checks()
     found: List[Violation] = []
     for file_path in iter_source_files(targets):

@@ -1,0 +1,130 @@
+"""Baseline suppression for ``repro check --program``.
+
+A baseline turns "the tree must be spotless" into "the tree must not
+get *worse*": known findings recorded in a committed
+``fcc-baseline.json`` are reported as warnings, anything new fails.
+That makes it safe to land the analyzer before every pre-existing
+hazard is fixed, and each baselined entry is a visible TODO in review.
+
+Entries match on ``(code, path, message)`` — deliberately **not** on
+line numbers, which drift with every unrelated edit.  The file is
+plain JSON so diffs review well:
+
+.. code-block:: json
+
+    {"schema": 1, "tool": "fcc-check-program",
+     "baseline": [{"code": "FCC102", "path": "src/repro/x.py",
+                   "message": "..."}]}
+
+``stale`` entries (present in the baseline, no longer reported) are
+surfaced too, so the file shrinks as hazards get fixed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..lint import Violation
+
+__all__ = ["Baseline", "BaselineError", "load_baseline",
+           "split_by_baseline", "baseline_payload"]
+
+
+class BaselineError(ValueError):
+    """A baseline file that cannot be used (bad JSON / bad schema)."""
+
+
+class Baseline:
+    """A loaded suppression set; see the module docstring."""
+
+    def __init__(self, entries: Sequence[Dict[str, str]],
+                 path: str = "") -> None:
+        self.path = path
+        self.entries: List[Dict[str, str]] = list(entries)
+        self._keys: Set[Tuple[str, str, str]] = {
+            self.key_of(entry) for entry in self.entries}
+
+    @staticmethod
+    def key_of(entry: Dict[str, str]) -> Tuple[str, str, str]:
+        return (str(entry.get("code", "")),
+                _normalize(str(entry.get("path", ""))),
+                str(entry.get("message", "")))
+
+    def covers(self, violation: Violation) -> bool:
+        return (violation.code, _normalize(violation.path),
+                violation.message) in self._keys
+
+    def stale_entries(self, violations: Sequence[Violation],
+                      ) -> List[Dict[str, str]]:
+        """Entries no longer matched by any current violation."""
+        live = {(v.code, _normalize(v.path), v.message)
+                for v in violations}
+        return [entry for entry in self.entries
+                if self.key_of(entry) not in live]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def _normalize(path: str) -> str:
+    """Compare by trailing package-relative path, absolute or not."""
+    pure = path.replace("\\", "/")
+    for marker in ("/src/", "/tests/", "/benchmarks/"):
+        idx = pure.rfind(marker)
+        if idx >= 0:
+            return pure[idx + 1:]
+    return pure.lstrip("/")
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Load and validate a baseline file."""
+    try:
+        payload = json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        raise BaselineError(f"baseline file not found: {path}") \
+            from None
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path} is not valid JSON: "
+                            f"{exc}") from None
+    if not isinstance(payload, dict) \
+            or not isinstance(payload.get("baseline"), list):
+        raise BaselineError(
+            f"baseline {path} must be an object with a 'baseline' "
+            "list")
+    entries = []
+    for i, entry in enumerate(payload["baseline"]):
+        if not isinstance(entry, dict) or "code" not in entry \
+                or "path" not in entry or "message" not in entry:
+            raise BaselineError(
+                f"baseline {path} entry {i} needs code/path/message")
+        entries.append(entry)
+    return Baseline(entries, path=str(path))
+
+
+def split_by_baseline(violations: Sequence[Violation],
+                      baseline: Baseline,
+                      ) -> Tuple[List[Violation], List[Violation]]:
+    """(new, baselined) — new findings fail, baselined ones warn."""
+    new: List[Violation] = []
+    known: List[Violation] = []
+    for violation in violations:
+        (known if baseline.covers(violation) else new).append(
+            violation)
+    return new, known
+
+
+def baseline_payload(violations: Sequence[Violation],
+                     ) -> Dict[str, object]:
+    """A baseline document covering ``violations`` (for bootstrap:
+    ``repro check --program --json | ...``, or hand-edit from this).
+    """
+    return {
+        "schema": 1,
+        "tool": "fcc-check-program",
+        "baseline": [
+            {"code": v.code, "path": _normalize(v.path),
+             "message": v.message}
+            for v in violations],
+    }

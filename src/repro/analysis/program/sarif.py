@@ -1,0 +1,91 @@
+"""SARIF 2.1.0 export for fcc-check findings.
+
+SARIF (Static Analysis Results Interchange Format) is what code
+hosts' code-scanning UIs ingest; ``repro check --program --sarif``
+emits one ``run`` whose driver lists every registered rule (per-file
+and whole-program) with its rationale, and one ``result`` per
+violation.  Baselined findings are exported at ``note`` level with
+``baselineState: "unchanged"``; new findings are ``error``.
+
+The subset written here is deliberately small and schema-stable — the
+same properties every mainstream SARIF consumer reads — and is
+validated structurally by ``tests/test_analysis_program.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..lint import Violation
+
+__all__ = ["violations_to_sarif"]
+
+_SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                 "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _rule_descriptor(check) -> Dict[str, object]:
+    descriptor: Dict[str, object] = {
+        "id": check.code,
+        "name": check.slug,
+        "shortDescription": {"text": check.summary},
+    }
+    if check.rationale:
+        descriptor["fullDescription"] = {"text": check.rationale}
+    if check.example_fix:
+        descriptor["help"] = {"text": check.example_fix}
+    return descriptor
+
+
+def _result(violation: Violation, level: str,
+            baseline_state: Optional[str]) -> Dict[str, object]:
+    result: Dict[str, object] = {
+        "ruleId": violation.code,
+        "level": level,
+        "message": {"text": f"[{violation.rule}] {violation.message}"},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": violation.path},
+                "region": {
+                    "startLine": max(violation.line, 1),
+                    "startColumn": violation.col + 1,
+                    "endLine": max(violation.end_line,
+                                   violation.line, 1),
+                },
+            },
+        }],
+    }
+    if baseline_state is not None:
+        result["baselineState"] = baseline_state
+    return result
+
+
+def violations_to_sarif(new: Sequence[Violation],
+                        baselined: Sequence[Violation] = (),
+                        ) -> Dict[str, object]:
+    """Build the SARIF document; ``new`` fail-level, ``baselined``
+    note-level."""
+    from ..lint import all_checks
+    from .checks import all_program_checks
+    rules: List[Dict[str, object]] = []
+    seen = set()
+    for check in list(all_checks()) + list(all_program_checks()):
+        if check.code not in seen:
+            seen.add(check.code)
+            rules.append(_rule_descriptor(check))
+    results = [_result(v, "error", "new" if baselined else None)
+               for v in new]
+    results += [_result(v, "note", "unchanged") for v in baselined]
+    return {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "fcc-check",
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }

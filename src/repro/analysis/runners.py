@@ -81,6 +81,7 @@ def _run_credits() -> Tuple[RuntimeSanitizer, Dict[str, Any]]:
     env.run(until=60_000.0)
     domain.rebalance_now()
     sanitizer = env.sanitizer
+    sanitizer.on_drain()
     return sanitizer, {"experiment": "credits", "completed": dict(done),
                        "grants": {f: domain.granted(f)
                                   for f in domain.flow_names()},

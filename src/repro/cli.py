@@ -292,12 +292,92 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check_explain(code: str) -> int:
+    """Print one rule's rationale and example fix (--explain)."""
+    from .analysis.lint import all_checks
+    from .analysis.program.checks import all_program_checks
+    registry = {check.code: check
+                for check in list(all_checks()) + all_program_checks()}
+    check = registry.get(code.upper())
+    if check is None:
+        print(f"error: unknown rule {code!r}; registered: "
+              f"{', '.join(sorted(registry))}", file=sys.stderr)
+        return 2
+    print(f"{check.code} [{check.slug}]")
+    print(f"  {check.summary}")
+    print()
+    print("why:")
+    print(f"  {check.rationale}")
+    print()
+    print("example fix:")
+    for line in check.example_fix.splitlines():
+        print(f"  {line}")
+    return 0
+
+
+def _cmd_check_program(args: argparse.Namespace) -> int:
+    """The whole-program head of `repro check` (--program)."""
+    from .analysis.program import run_program, violations_to_sarif
+    from .analysis.program.baseline import (BaselineError,
+                                            load_baseline,
+                                            split_by_baseline)
+    root = Path(args.paths[0]) if args.paths else None
+    violations = run_program(root)
+    baselined = []
+    stale = []
+    if args.baseline:
+        try:
+            baseline = load_baseline(Path(args.baseline))
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        violations, baselined = split_by_baseline(violations, baseline)
+        stale = baseline.stale_entries(violations + baselined)
+    if args.sarif:
+        print(json.dumps(violations_to_sarif(violations, baselined),
+                         indent=2))
+    elif args.json:
+        payload = {
+            "schema": 1,
+            "tool": "fcc-check-program",
+            "count": len(violations),
+            "violations": [v.to_dict() for v in violations],
+            "baselined": [v.to_dict() for v in baselined],
+            "stale_baseline": stale,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        for violation in violations:
+            print(violation.format())
+        for violation in baselined:
+            print(f"warn (baselined): {violation.format()}")
+        for entry in stale:
+            print(f"note: stale baseline entry {entry['code']} "
+                  f"{entry['path']} (no longer reported; remove it)")
+        if violations:
+            print(f"program: {len(violations)} new violation(s)"
+                  + (f", {len(baselined)} baselined" if baselined
+                     else ""))
+        else:
+            print("program: clean"
+                  + (f" ({len(baselined)} baselined warning(s))"
+                     if baselined else ""))
+    return 1 if violations else 0
+
+
 def cmd_check(args: argparse.Namespace) -> int:
     """fcc-check: static lint and/or sanitized experiment replay."""
     # Deferred import: the analysis package is tooling, not something
     # `repro info` users should pay to load.
     from . import analysis
 
+    if args.explain:
+        return _cmd_check_explain(args.explain)
+    if args.program:
+        return _cmd_check_program(args)
+    if args.sarif:
+        print("error: --sarif requires --program", file=sys.stderr)
+        return 2
     run_lint = args.lint or not args.sanitize   # default head is lint
     status = 0
     if run_lint:
@@ -431,9 +511,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                             "repeatable")
     check.add_argument("--json", action="store_true",
                        help="machine-readable output (schema-stable)")
+    check.add_argument("--program", action="store_true",
+                       help="run the whole-program analysis engine "
+                            "(FCC101-103) instead of the per-file lint")
+    check.add_argument("--sarif", action="store_true",
+                       help="with --program: emit SARIF 2.1.0 on stdout")
+    check.add_argument("--baseline", metavar="FILE",
+                       help="with --program: suppression file "
+                            "(fcc-baseline.json); new findings fail, "
+                            "baselined ones warn")
+    check.add_argument("--explain", metavar="FCCnnn",
+                       help="print a rule's rationale and example fix, "
+                            "then exit")
     check.add_argument("paths", nargs="*",
                        help="files/directories to lint (default: the "
-                            "repro package)")
+                            "repro package + tests/ + benchmarks/); "
+                            "with --program: the package root")
     scenario_help = ("canonical scenario: t2 (hierarchy walk), "
                      "starvation (§3 CFC quiet-flow stall), "
                      "interleave (64B reads vs 16KB writes)")

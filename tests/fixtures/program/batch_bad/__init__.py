@@ -1,0 +1,3 @@
+"""FCC103 positive fixture: a scheduler that claims batchable = True
+but plans impurely (dequeues and stores state while planning) and
+commits the tail instead of the head."""

@@ -1,0 +1,2 @@
+"""FCC103 negative fixture: a conforming batchable scheduler — pure
+plan (index-walk only), head-order commit, no kernel events."""

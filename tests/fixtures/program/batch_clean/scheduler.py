@@ -1,0 +1,24 @@
+"""The Fifo shape: planning observes state without changing it, and
+commit_head retires exactly the entry peek_ready inspected."""
+
+
+class FifoScheduler:
+    batchable = True
+
+    def __init__(self):
+        self._queues = {"all": []}
+
+    def enqueue(self, flit):
+        self._queues["all"].append(flit)
+
+    def peek_ready(self):
+        queue = self._queues["all"]
+        return queue[0] if queue else None
+
+    def plan_ready_run(self, limit):
+        queue = self._queues["all"]
+        count = min(limit, len(queue))
+        return [queue[i] for i in range(count)]
+
+    def commit_head(self):
+        return self._queues["all"].pop(0)

@@ -1,0 +1,3 @@
+"""FCC102 positive fixture: an order-sensitive read-modify-write of a
+shared attribute in a method spawned twice, with no yield between
+acquire and store."""

@@ -1,0 +1,21 @@
+"""Two instances of ``bump`` wake at the same timestamp; the final
+``self.depth`` depends only on kernel dispatch order (`*` does not
+commute with itself applied to the running value)."""
+
+
+class Tally:
+    def __init__(self, env):
+        self.env = env
+        self.depth = 1
+
+    def bump(self):
+        while True:
+            depth = self.depth
+            self.depth = depth * 2 + 1
+            yield self.env.timeout(10.0)
+
+
+def main(env):
+    tally = Tally(env)
+    env.process(tally.bump())
+    env.process(tally.bump())

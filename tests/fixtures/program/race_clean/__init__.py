@@ -1,0 +1,3 @@
+"""FCC102 negative fixture: the same two-spawn shape as race_bad, but
+every update is either a commutative counter bump or separated from
+its read by a yield."""

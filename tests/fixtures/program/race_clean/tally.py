@@ -1,0 +1,29 @@
+"""Order-insensitive twin of race_bad: `+=` commutes, and the
+read/store pair in ``drain`` straddles a yield (each wake-up observes
+a settled value)."""
+
+
+class Tally:
+    def __init__(self, env):
+        self.env = env
+        self.depth = 0
+        self.high_water = 0
+
+    def bump(self):
+        while True:
+            self.depth += 1
+            yield self.env.timeout(10.0)
+
+    def drain(self):
+        while True:
+            snapshot = self.depth
+            yield self.env.timeout(25.0)
+            self.high_water = snapshot
+            yield self.env.timeout(25.0)
+
+
+def main(env):
+    tally = Tally(env)
+    env.process(tally.bump())
+    env.process(tally.bump())
+    env.process(tally.drain())

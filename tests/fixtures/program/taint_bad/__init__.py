@@ -1,0 +1,2 @@
+"""FCC101 positive fixture: the spawned process itself is clean, but
+it calls a helper in another module that reads the wall clock."""

@@ -1,0 +1,8 @@
+"""A helper that looks innocent in isolation (it is 'just a
+function') but reads ambient wall-clock state."""
+
+import time
+
+
+def jitter():
+    return time.perf_counter() % 5.0

@@ -1,0 +1,13 @@
+"""The process is spawned here; per-file lint on this module is
+clean — only the interprocedural closure sees the taint."""
+
+from .clockutil import jitter
+
+
+def worker(env):
+    delay = jitter()
+    yield env.timeout(delay)
+
+
+def main(env):
+    env.process(worker(env))

@@ -1,0 +1,2 @@
+"""FCC101 negative fixture: same shape as taint_bad, but the helper
+derives its value from simulation state, not ambient clocks."""

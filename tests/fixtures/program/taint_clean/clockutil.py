@@ -1,0 +1,5 @@
+"""Deterministic helper: the delay is a pure function of sim time."""
+
+
+def jitter(env):
+    return (env.now % 5.0) + 1.0

@@ -1,0 +1,12 @@
+"""Same spawn shape as taint_bad/driver.py, no reachable sink."""
+
+from .clockutil import jitter
+
+
+def worker(env):
+    delay = jitter(env)
+    yield env.timeout(delay)
+
+
+def main(env):
+    env.process(worker(env))

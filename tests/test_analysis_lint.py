@@ -6,7 +6,7 @@ from pathlib import Path
 import pytest
 
 from repro.analysis import run_lint, violations_to_json
-from repro.analysis.lint import default_lint_root
+from repro.analysis.lint import default_lint_root, default_lint_roots
 from repro.cli import main
 
 FIXTURES = Path(__file__).parent / "fixtures" / "lint"
@@ -80,6 +80,40 @@ class TestPragmas:
         mod.write_text("import random   # fcc: allow[wall-clock]\n")
         assert [v.code for v in run_lint([mod])] == ["FCC001"]
 
+    # A violation anchored to a multi-line statement is reported at
+    # its *first* line, but editors naturally put the pragma where the
+    # cursor is — often the closing line.  Suppression must honor any
+    # line of the statement's span.
+    def test_pragma_on_closing_line_of_multiline_statement(
+            self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text("def drain(pending):\n"
+                       "    for name in set(\n"
+                       "        pending,\n"
+                       "    ):   # fcc: allow[unordered-iter]\n"
+                       "        print(name)\n")
+        assert run_lint([mod]) == []
+
+    def test_pragma_on_middle_line_of_multiline_statement(
+            self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text("def drain(pending):\n"
+                       "    for name in set(\n"
+                       "        pending,   # fcc: allow[unordered-iter]\n"
+                       "    ):\n"
+                       "        print(name)\n")
+        assert run_lint([mod]) == []
+
+    def test_pragma_after_multiline_statement_does_not_suppress(
+            self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text("def drain(pending):\n"
+                       "    for name in set(\n"
+                       "        pending,\n"
+                       "    ):\n"
+                       "        print(name)   # fcc: allow[unordered-iter]\n")
+        assert [v.code for v in run_lint([mod])] == ["FCC005"]
+
 
 class TestRepoIsClean:
     def test_repro_package_has_no_violations(self):
@@ -88,6 +122,20 @@ class TestRepoIsClean:
 
     def test_default_root_is_the_package(self):
         assert default_lint_root().name == "repro"
+
+    def test_default_roots_cover_tests_and_benchmarks(self):
+        roots = default_lint_roots()
+        names = {root.name for root in roots}
+        assert "repro" in names
+        assert "tests" in names
+        assert "benchmarks" in names
+
+    def test_fixture_dirs_skipped_in_directory_walks(self):
+        # tests/fixtures holds deliberate violations; the default walk
+        # must not lint them (explicitly-named paths still work).
+        violations = run_lint([Path(__file__).parent])
+        fixture_hits = [v for v in violations if "fixtures" in v.path]
+        assert fixture_hits == []
 
 
 class TestJsonSchema:
@@ -99,7 +147,8 @@ class TestJsonSchema:
         assert payload["count"] > 0
         entry = payload["violations"][0]
         assert set(entry) == {"path", "line", "col", "code", "rule",
-                              "message"}
+                              "message", "end_line"}
+        assert entry["end_line"] >= entry["line"]
         json.dumps(payload)   # round-trippable
 
     def test_empty_payload(self):
