@@ -1,0 +1,60 @@
+"""Experiment xswitch: cross-switch starvation on a declarative fabric.
+
+Paper (section 3): "Credit starvation can backpropagate to upstreamed
+switch ports under scale-out scenarios."  Here the scale-out fabric is
+*generated*: the committed ``xswitch_fat_tree_2pod`` topology shape (a
+2-pod fat tree, pods joined by one narrow inter-pod spine link with
+its own credit budget — the DFabric hybrid regime).  The victim reads
+a remote-pod device that shares no endpoint and no leaf switch with
+the flood, yet its latency multiplies under FIFO egress because the
+flood's congestion holds the inter-pod link's credits.
+
+The builder lives in :mod:`repro.experiments.defs.topo` (experiment
+``xswitch_starvation``); this script is its benchmark/CLI wrapper.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict
+
+from repro.experiments import render, run_summary
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import memoize
+
+
+@memoize
+def collect() -> Dict[str, dict]:
+    return run_summary("xswitch_starvation")
+
+
+def test_xswitch_congestion_crosses_the_interpod_link(benchmark):
+    summary = benchmark.pedantic(collect, rounds=1, iterations=1)
+    cases = summary["cases"]
+    quiet = cases["fifo quiet"]["mean_ns"]
+    congested = cases["fifo congested"]["mean_ns"]
+    # Victim and flood share only the spine-to-spine hop; the victim
+    # still suffers a multiple of its quiet latency.
+    assert congested > 3.0 * quiet
+    benchmark.extra_info["quiet_ns"] = round(quiet, 1)
+    benchmark.extra_info["congested_ns"] = round(congested, 1)
+
+
+def test_xswitch_fair_queueing_contains_the_spread(benchmark):
+    summary = benchmark.pedantic(collect, rounds=1, iterations=1)
+    cases = summary["cases"]
+    fair = cases["fair congested"]["mean_ns"]
+    fifo = cases["fifo congested"]["mean_ns"]
+    quiet = cases["fifo quiet"]["mean_ns"]
+    assert fair < fifo / 2
+    assert fair < 1.5 * quiet
+    benchmark.extra_info["fair_ns"] = round(fair, 1)
+
+
+def main() -> None:
+    render("xswitch_starvation", summary=collect())
+
+
+if __name__ == "__main__":
+    main()

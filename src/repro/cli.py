@@ -28,7 +28,10 @@ Commands:
   typed parameter, ``--json`` emits the schema-stable result document;
 * ``sweep``   — run a declarative parameter sweep (JSON spec: one
   experiment, axes of parameter values) across worker processes into a
-  resumable output directory with a merged, byte-stable report.
+  resumable output directory with a merged, byte-stable report;
+* ``topo``    — the declarative topology layer: ``list`` committed
+  shapes and generators, ``show`` (resolve + compile + reachability
+  check) one topology spec, ``validate`` descriptor JSON files.
 """
 
 from __future__ import annotations
@@ -412,6 +415,80 @@ def cmd_check(args: argparse.Namespace) -> int:
     return status
 
 
+def cmd_topo(args: argparse.Namespace) -> int:
+    """Inspect the declarative topology layer: list/show/validate."""
+    from .topo import (DescriptorError, GENERATORS, SHAPES_DIR,
+                       compile_topology, load_descriptor, load_shape,
+                       resolve_topology, shape_names,
+                       verify_reachability)
+    if args.action == "list":
+        shapes = []
+        for name in shape_names():
+            descriptor = load_shape(name)
+            shapes.append({"name": name,
+                           "description": descriptor.description,
+                           **descriptor.stats()})
+        generators = [{"name": name,
+                       "description": generator.description,
+                       "params": {key: param.default
+                                  for key, param in
+                                  sorted(generator.params.items())}}
+                      for name, generator in sorted(GENERATORS.items())]
+        if args.json:
+            print(json.dumps({"shapes": shapes,
+                              "generators": generators}, indent=2))
+            return 0
+        print("committed shapes (src/repro/topo/shapes/):")
+        for shape in shapes:
+            print(f"  {shape['name']:<24} {shape['pods']} pod(s), "
+                  f"{shape['switches']} sw, {shape['endpoints']} ep — "
+                  f"{shape['description']}")
+        print("generators (call as 'name:key=val,...'):")
+        for generator in generators:
+            defaults = ", ".join(f"{key}={value}" for key, value
+                                 in generator["params"].items())
+            print(f"  {generator['name']:<24} {generator['description']}")
+            print(f"  {'':<24} defaults: {defaults}")
+        return 0
+    if args.action == "show":
+        try:
+            descriptor = resolve_topology(args.topology)
+            env = Environment()
+            fabric = compile_topology(descriptor, env)
+            checks = verify_reachability(fabric.topology)
+        except DescriptorError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            payload = descriptor.to_dict()
+            payload["compiled"] = {
+                "routes_installed": fabric.routes_installed, **checks}
+            print(json.dumps(payload, indent=2))
+            return 0
+        print(fabric.describe())
+        print(f"  reachability: {checks['pairs']} endpoint pair(s), "
+              f"max {checks['max_hops']} switch hop(s)")
+        return 0
+    # validate: committed shapes by default, explicit files otherwise.
+    paths = [Path(p) for p in args.paths] \
+        or sorted(SHAPES_DIR.glob("*.json"))
+    status = 0
+    for path in paths:
+        try:
+            descriptor = load_descriptor(path)
+            env = Environment()
+            fabric = compile_topology(descriptor, env)
+            checks = verify_reachability(fabric.topology)
+        except (DescriptorError, ValueError) as exc:
+            print(f"FAIL {path}: {exc}")
+            status = 1
+            continue
+        print(f"ok   {path}: {descriptor.name} "
+              f"({fabric.routes_installed} routes, "
+              f"{checks['pairs']} pairs reachable)")
+    return status
+
+
 def cmd_list(args: argparse.Namespace) -> int:
     """Print every registered experiment/scenario with a description."""
     from .experiments import registry
@@ -574,6 +651,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     compare.add_argument("--threshold", type=float, default=0.10,
                          help="relative regression threshold "
                               "(default 0.10)")
+    topo = sub.add_parser(
+        "topo", help="declarative topology layer: list shapes and "
+                     "generators, show/compile one, validate files")
+    topo_sub = topo.add_subparsers(dest="action", required=True)
+    topo_list = topo_sub.add_parser(
+        "list", help="committed shapes + generators")
+    topo_list.add_argument("--json", action="store_true",
+                           help="machine-readable inventory")
+    topo_show = topo_sub.add_parser(
+        "show", help="resolve, compile and print one topology")
+    topo_show.add_argument("topology",
+                           help="committed shape, generator name, or "
+                                "generator call like "
+                                "'fat_tree:pods=2,leaves=3'")
+    topo_show.add_argument("--json", action="store_true",
+                           help="print the descriptor document plus "
+                                "compile stats")
+    topo_validate = topo_sub.add_parser(
+        "validate", help="validate descriptor JSON files (default: "
+                         "every committed shape); compiles each and "
+                         "checks full reachability")
+    topo_validate.add_argument("paths", nargs="*",
+                               help="descriptor files (default: "
+                                    "src/repro/topo/shapes/*.json)")
     list_parser = sub.add_parser(
         "list", help="registered experiments and telemetry scenarios")
     list_parser.add_argument("--json", action="store_true",
@@ -615,7 +716,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                "check": cmd_check, "trace": cmd_trace,
                "metrics": cmd_metrics, "why": cmd_why,
                "compare": cmd_compare, "list": cmd_list,
-               "bench": cmd_bench, "sweep": cmd_sweep}[args.command]
+               "bench": cmd_bench, "sweep": cmd_sweep,
+               "topo": cmd_topo}[args.command]
     return handler(args)
 
 

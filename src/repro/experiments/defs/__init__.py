@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from . import cfc, fabric, memory, mimo, movement, scenarios, tables
+from . import cfc, fabric, memory, mimo, movement, scenarios, tables, topo
 
 __all__ = ["cfc", "fabric", "memory", "mimo", "movement", "scenarios",
-           "tables"]
+           "tables", "topo"]

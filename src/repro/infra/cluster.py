@@ -22,13 +22,20 @@ from ..mem.nodes import (
     NonCcNumaNode,
 )
 from ..pcie.manager import FabricManager
-from ..pcie.switch import PortRole
-from ..pcie.topology import Topology
 from ..sim import Environment, Tracer
+from ..topo import (
+    EndpointSpec,
+    LinkClassSpec,
+    PodSpec,
+    SwitchSpec,
+    TopologyDescriptor,
+    compile_topology,
+)
 from .chassis import Accelerator, AcceleratorChassis, FamChassis
 from .host import HostServer
 
-__all__ = ["ClusterSpec", "FamSpec", "FaaSpec", "Cluster", "build_cluster"]
+__all__ = ["ClusterSpec", "FamSpec", "FaaSpec", "Cluster",
+           "build_cluster", "cluster_descriptor"]
 
 
 @dataclasses.dataclass
@@ -68,6 +75,11 @@ class ClusterSpec:
     control_lane: bool = False
     map_all_fams: bool = True
     cache_configs: Optional[tuple] = None   # override host cache geometry
+    # Optional declarative wiring: when given, the fabric (switches,
+    # links, endpoint attachments) compiles from this descriptor
+    # instead of the derived single-switch star.  The descriptor must
+    # provide an endpoint for every host/FAM/FAA name in this spec.
+    descriptor: Optional[TopologyDescriptor] = None
 
 
 class Cluster:
@@ -133,54 +145,114 @@ def _make_node(env: Environment, spec: FamSpec, index: int) -> MemoryNode:
                      " (COMA clusters are built via repro.mem.ComaCluster)")
 
 
+def _link_class_from_params(lp: params.LinkParams) -> LinkClassSpec:
+    return LinkClassSpec(lanes=lp.lanes, gt_per_s=lp.gt_per_s,
+                         flit_bytes=lp.flit_bytes,
+                         propagation_ns=lp.propagation_ns,
+                         credits=lp.credits)
+
+
+def cluster_descriptor(spec: ClusterSpec,
+                       name: str = "cluster_star") -> TopologyDescriptor:
+    """Derive the single-switch star descriptor a spec implies.
+
+    This is the declarative twin of the historical hand-wired builder:
+    hosts upstream, FAM/FAA chassis downstream, one switch, per-FAM
+    link classes where a :class:`FamSpec` overrides the link.  The t2
+    committed shape (``repro/topo/shapes/t2_star.json``) is exactly
+    this derivation for ``ClusterSpec(hosts=1)`` — pinned by tests.
+    """
+    link_classes: Dict[str, LinkClassSpec] = {}
+    default_link_class = None
+    if spec.link_params is not None:
+        link_classes["cluster"] = _link_class_from_params(spec.link_params)
+        default_link_class = "cluster"
+    endpoints = [
+        EndpointSpec(name=f"host{h}", switch="sw0", role="upstream",
+                     control_lane=spec.control_lane)
+        for h in range(spec.hosts)]
+    for fam_spec in spec.fams:
+        fam_class = None
+        if fam_spec.link_params is not None:
+            link_classes[fam_spec.name] = \
+                _link_class_from_params(fam_spec.link_params)
+            fam_class = fam_spec.name
+        endpoints.append(EndpointSpec(
+            name=fam_spec.name, switch="sw0", link_class=fam_class,
+            control_lane=spec.control_lane))
+    for faa_spec in spec.faas:
+        endpoints.append(EndpointSpec(
+            name=faa_spec.name, switch="sw0",
+            control_lane=spec.control_lane))
+    return TopologyDescriptor(
+        name=name,
+        description=f"single-switch star: {spec.hosts} host(s), "
+                    f"{len(spec.fams)} FAM, {len(spec.faas)} FAA",
+        scheduler=spec.scheduler,
+        link_classes=link_classes,
+        default_link_class=default_link_class,
+        pods=(PodSpec(name="pod0", domain=0,
+                      switches=(SwitchSpec(name="sw0"),),
+                      endpoints=tuple(endpoints)),)).validate()
+
+
 def build_cluster(env: Environment, spec: Optional[ClusterSpec] = None,
                   tracer: Optional[Tracer] = None) -> Cluster:
-    """Build a star-topology composable rack from a spec."""
+    """Build a composable rack from a spec.
+
+    The fabric wiring always goes through the declarative topology
+    compiler: either the spec's explicit ``descriptor`` or the derived
+    single-switch star (:func:`cluster_descriptor`).  Hosts and
+    chassis then attach to the compiled endpoints by name.
+    """
     spec = spec or ClusterSpec()
     if spec.hosts < 1:
         raise ValueError("need at least one host")
-    topology = Topology(env, link_params=spec.link_params,
-                        scheduler=spec.scheduler, tracer=tracer)
-    topology.add_switch("sw0")
+    descriptor = spec.descriptor or cluster_descriptor(spec)
+    fabric = compile_topology(descriptor, env, tracer=tracer,
+                              configure=False)
+    topology = fabric.topology
+
+    expected = ([f"host{h}" for h in range(spec.hosts)]
+                + [fam_spec.name for fam_spec in spec.fams]
+                + [faa_spec.name for faa_spec in spec.faas])
+    missing = [name for name in expected
+               if name not in topology.endpoints]
+    if missing:
+        raise ValueError(
+            f"descriptor {descriptor.name!r} has no endpoint(s) "
+            f"{', '.join(missing)} required by the cluster spec; it "
+            f"provides: {', '.join(sorted(topology.endpoints))}")
 
     hosts: Dict[str, HostServer] = {}
     for h in range(spec.hosts):
         name = f"host{h}"
-        topology.add_endpoint(name)
-        port = topology.connect_endpoint(
-            "sw0", name, role=PortRole.UPSTREAM,
-            control_lane=spec.control_lane)
-        hosts[name] = HostServer(env, name, port,
+        hosts[name] = HostServer(env, name, topology.port_of(name),
                                  local_bytes=spec.local_bytes,
                                  cores=spec.cores_per_host,
                                  cache_configs=spec.cache_configs)
 
     fams: Dict[str, FamChassis] = {}
     for fam_spec in spec.fams:
-        topology.add_endpoint(fam_spec.name)
-        port = topology.connect_endpoint(
-            "sw0", fam_spec.name, control_lane=spec.control_lane,
-            link_params=fam_spec.link_params)
         if fam_spec.kind is NodeKind.CC_NUMA and fam_spec.modules != 1:
             raise ValueError("CC-NUMA chassis must have exactly one module")
         modules = [_make_node(env, fam_spec, i)
                    for i in range(fam_spec.modules)]
-        fams[fam_spec.name] = FamChassis(env, port, modules,
-                                         name=fam_spec.name)
+        fams[fam_spec.name] = FamChassis(env,
+                                         topology.port_of(fam_spec.name),
+                                         modules, name=fam_spec.name)
 
     faas: Dict[str, AcceleratorChassis] = {}
     for faa_spec in spec.faas:
-        topology.add_endpoint(faa_spec.name)
-        port = topology.connect_endpoint(
-            "sw0", faa_spec.name, control_lane=spec.control_lane)
         accelerators = [
             Accelerator(env, name=f"{faa_spec.name}.acc{i}",
                         setup_ns=faa_spec.setup_ns)
             for i in range(faa_spec.accelerators)]
-        faas[faa_spec.name] = AcceleratorChassis(env, port, accelerators,
-                                                 name=faa_spec.name)
+        faas[faa_spec.name] = AcceleratorChassis(
+            env, topology.port_of(faa_spec.name), accelerators,
+            name=faa_spec.name)
 
-    manager = FabricManager(topology)
+    manager = fabric.manager
     manager.configure()
 
     if spec.map_all_fams:

@@ -91,7 +91,26 @@ class Topology:
 
     def _check_new_name(self, name: str) -> None:
         if name in self._adjacency:
-            raise ValueError(f"node name {name!r} already in topology")
+            kind = "switch" if name in self.switches else "endpoint"
+            raise ValueError(
+                f"duplicate node name {name!r}: already registered as "
+                f"a {kind} in this topology")
+
+    def _switch(self, name: str) -> FabricSwitch:
+        switch = self.switches.get(name)
+        if switch is None:
+            known = ", ".join(sorted(self.switches)) or "(none)"
+            raise ValueError(f"unknown switch {name!r}; "
+                             f"registered switches: {known}")
+        return switch
+
+    def _endpoint(self, name: str) -> Endpoint:
+        endpoint = self.endpoints.get(name)
+        if endpoint is None:
+            known = ", ".join(sorted(self.endpoints)) or "(none)"
+            raise ValueError(f"unknown endpoint {name!r}; "
+                             f"registered endpoints: {known}")
+        return endpoint
 
     # -- wiring ---------------------------------------------------------------
 
@@ -110,8 +129,8 @@ class Topology:
                          control_lane: bool = False,
                          tag_capacity: int = 256) -> TransactionPort:
         """Attach an endpoint to a switch; returns its transaction port."""
-        switch = self.switches[switch_name]
-        endpoint = self.endpoints[endpoint_name]
+        switch = self._switch(switch_name)
+        endpoint = self._endpoint(endpoint_name)
         if endpoint.port is not None:
             raise ValueError(f"endpoint {endpoint_name!r} already connected")
         to_switch = self._make_link(f"{endpoint_name}->{switch_name}",
@@ -139,8 +158,8 @@ class Topology:
         HBR link (the distinction matters to the fabric manager, which
         installs prefix routes across it).
         """
-        a = self.switches[a_name]
-        b = self.switches[b_name]
+        a = self._switch(a_name)
+        b = self._switch(b_name)
         a_to_b = self._make_link(f"{a_name}->{b_name}", link_params,
                                  control_lane, tx_queue_capacity=2)
         b_to_a = self._make_link(f"{b_name}->{a_name}", link_params,
@@ -158,7 +177,7 @@ class Topology:
         return list(self._adjacency[name])
 
     def port_of(self, name: str) -> TransactionPort:
-        port = self.endpoints[name].port
+        port = self._endpoint(name).port
         if port is None:
             raise ValueError(f"endpoint {name!r} is not connected")
         return port

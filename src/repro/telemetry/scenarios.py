@@ -29,9 +29,9 @@ from typing import Any, Callable, Dict, Optional
 from .. import params
 from ..fabric import Channel, Packet, PacketKind
 from ..infra import ClusterSpec, build_cluster
-from ..pcie import FabricManager, PortRole, Topology
 from ..pcie.credits import CreditDomain, RampUpPolicy
 from ..sim import Environment, run_proc
+from ..topo import compile_topology, load_shape
 from .attribution import build_report
 from .causal import SERIALIZATION, CausalRecorder
 from .core import Telemetry, span
@@ -83,7 +83,10 @@ class ScenarioResult:
 # --------------------------------------------------------------------------
 
 def _build_t2(env: Environment) -> Dict[str, Any]:
-    cluster = build_cluster(env, ClusterSpec(hosts=1))
+    # The fabric comes from the committed t2_star shape (which the
+    # tests pin equal to the descriptor a ClusterSpec(hosts=1) derives).
+    cluster = build_cluster(env, ClusterSpec(
+        hosts=1, descriptor=load_shape("t2_star")))
     host = cluster.host(0)
     remote_base = host.remote_base("fam0")
     hot_line = 1 << 20
@@ -203,15 +206,10 @@ def _build_starvation(env: Environment) -> Dict[str, Any]:
 # --------------------------------------------------------------------------
 
 def _build_interleave(env: Environment) -> Dict[str, Any]:
-    topo = Topology(env, scheduler="fifo")
-    topo.add_switch("sw0")
-    for name in ("reader", "writer"):
-        topo.add_endpoint(name)
-        topo.connect_endpoint("sw0", name, role=PortRole.UPSTREAM)
-    topo.add_endpoint("dev")
-    topo.connect_endpoint("sw0", "dev",
-                          link_params=params.LinkParams(lanes=4))
-    FabricManager(topo).configure()
+    # The committed interleave shape: reader + writer upstream of one
+    # FIFO switch, the device behind a narrow x4 link.  Compiling it
+    # is byte-identical to the historical hand-wired builder (pinned).
+    topo = compile_topology(load_shape("interleave"), env).topology
 
     def handler(request):
         yield env.timeout(params.FAM_ACCESS_NS)

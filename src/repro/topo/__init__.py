@@ -1,0 +1,83 @@
+"""repro.topo: declarative topology descriptors + the generator zoo.
+
+The fabric-manager-driven topology layer (ROADMAP: "Fabric Manager +
+declarative topology layer"):
+
+* :mod:`~repro.topo.descriptor` — the typed, JSON-(de)serializable
+  mesh/pod/cluster schema with validation and path-precise errors;
+* :mod:`~repro.topo.generators` — parameterized star / chain /
+  fat-tree / dragonfly builders that emit descriptors;
+* :mod:`~repro.topo.compiler`   — the mapper that deterministically
+  wires a descriptor into a :class:`~repro.pcie.topology.Topology` and
+  runs :class:`~repro.pcie.manager.FabricManager` route fill;
+* :mod:`~repro.topo.verify`     — full endpoint-to-endpoint
+  reachability and ECMP checks over the installed tables;
+* :mod:`~repro.topo.resolve`    — one string ("interleave",
+  "fat_tree:pods=2") names any committed shape or generator call.
+
+Committed shapes live in ``repro/topo/shapes/*.json``; ``repro topo
+{list,show,validate}`` is the CLI face.
+"""
+
+from .compiler import CompiledFabric, compile_topology
+from .descriptor import (
+    DescriptorError,
+    EndpointSpec,
+    LinkClassSpec,
+    PodSpec,
+    SwitchLinkSpec,
+    SwitchSpec,
+    TopologyDescriptor,
+    load_descriptor,
+)
+from .generators import (
+    GENERATORS,
+    GenParam,
+    Generator,
+    build_generated,
+    chain,
+    dragonfly,
+    fat_tree,
+    generator_names,
+    star,
+)
+from .resolve import (
+    SHAPES_DIR,
+    UnknownTopologyError,
+    load_shape,
+    resolve_topology,
+    shape_names,
+    topology_choices,
+)
+from .verify import VerificationError, ecmp_counts, verify_reachability
+
+__all__ = [
+    "CompiledFabric",
+    "DescriptorError",
+    "EndpointSpec",
+    "GENERATORS",
+    "GenParam",
+    "Generator",
+    "LinkClassSpec",
+    "PodSpec",
+    "SHAPES_DIR",
+    "SwitchLinkSpec",
+    "SwitchSpec",
+    "TopologyDescriptor",
+    "UnknownTopologyError",
+    "VerificationError",
+    "build_generated",
+    "chain",
+    "compile_topology",
+    "dragonfly",
+    "ecmp_counts",
+    "fat_tree",
+    "generator_names",
+    "load_descriptor",
+    "load_shape",
+    "resolve_topology",
+    "shape_names",
+    "star",
+    "topology_choices",
+    "verify_reachability",
+]

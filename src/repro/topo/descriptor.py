@@ -1,0 +1,532 @@
+"""Declarative topology descriptors: the JSON schema behind `repro topo`.
+
+A :class:`TopologyDescriptor` is the complete, serializable description
+of one fabric shape: named link classes (lane/credit regimes), pods
+(each a routing domain holding switches, intra-pod switch links and
+endpoints), and inter-pod links.  Descriptors are plain JSON on disk —
+a new topology is a file or a one-line generator call, not a new
+module — and compile deterministically into a wired
+:class:`~repro.pcie.topology.Topology` via
+:func:`repro.topo.compiler.compile_topology`.
+
+The schema mirrors the tt-metal multi-mesh fabric-init design
+(SNIPPETS.md §2): mesh/pod descriptors with dims and channel policies,
+resolved onto concrete hardware by a topology mapper.  Per-pod and
+per-link link classes let DFabric-style hybrid fabrics — wide intra-pod
+CXL links, narrow inter-pod network links with their own credit
+budget — fall out of the data rather than the code.
+
+Every ``from_dict`` error carries a JSON-path-like location
+(``pods[1].endpoints[0].link_class``) so a broken committed file is
+diagnosable from the message alone.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from .. import params
+
+__all__ = [
+    "DescriptorError",
+    "LinkClassSpec",
+    "SwitchSpec",
+    "EndpointSpec",
+    "SwitchLinkSpec",
+    "PodSpec",
+    "TopologyDescriptor",
+    "load_descriptor",
+]
+
+DESCRIPTOR_SCHEMA = 1
+
+_ROLES = ("upstream", "downstream")
+
+
+class DescriptorError(ValueError):
+    """A malformed or inconsistent topology descriptor."""
+
+
+def _fail(where: str, message: str) -> None:
+    raise DescriptorError(f"{where}: {message}")
+
+
+def _expect_object(raw: Any, where: str) -> Mapping[str, Any]:
+    if not isinstance(raw, Mapping):
+        _fail(where, f"expected a JSON object, got {type(raw).__name__}")
+    return raw
+
+
+def _expect_str(raw: Mapping[str, Any], key: str, where: str,
+                default: Optional[str] = None,
+                required: bool = False) -> Optional[str]:
+    if key not in raw:
+        if required:
+            _fail(where, f"missing required key {key!r}")
+        return default
+    value = raw[key]
+    if not isinstance(value, str) or (required and not value):
+        _fail(f"{where}.{key}", f"expected a non-empty string, got {value!r}")
+    return value
+
+
+def _expect_num(raw: Mapping[str, Any], key: str, where: str,
+                default: float, integer: bool = False) -> Any:
+    if key not in raw:
+        return default
+    value = raw[key]
+    ok = isinstance(value, int) and not isinstance(value, bool) if integer \
+        else isinstance(value, (int, float)) and not isinstance(value, bool)
+    if not ok:
+        kind = "an integer" if integer else "a number"
+        _fail(f"{where}.{key}", f"expected {kind}, got {value!r}")
+    return value if integer else float(value)
+
+
+def _expect_bool(raw: Mapping[str, Any], key: str, where: str,
+                 default: bool) -> bool:
+    value = raw.get(key, default)
+    if not isinstance(value, bool):
+        _fail(f"{where}.{key}", f"expected true/false, got {value!r}")
+    return value
+
+
+def _no_unknown_keys(raw: Mapping[str, Any], known: Tuple[str, ...],
+                     where: str) -> None:
+    unknown = sorted(set(raw) - set(known))
+    if unknown:
+        _fail(where, f"unknown key(s) {', '.join(unknown)}; "
+                     f"known: {', '.join(known)}")
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkClassSpec:
+    """One named link regime: width, rate, flit mode, credit budget."""
+
+    lanes: int = 16
+    gt_per_s: float = params.LINK_GT_PER_S
+    flit_bytes: int = params.FLIT_BYTES_SMALL
+    propagation_ns: float = params.LINK_PROPAGATION_NS
+    credits: int = params.DEFAULT_LINK_CREDITS
+
+    def to_link_params(self) -> params.LinkParams:
+        return params.LinkParams(
+            lanes=self.lanes, gt_per_s=self.gt_per_s,
+            flit_bytes=self.flit_bytes,
+            propagation_ns=self.propagation_ns, credits=self.credits)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"lanes": self.lanes, "gt_per_s": self.gt_per_s,
+                "flit_bytes": self.flit_bytes,
+                "propagation_ns": self.propagation_ns,
+                "credits": self.credits}
+
+    @classmethod
+    def from_dict(cls, raw: Any, where: str) -> "LinkClassSpec":
+        raw = _expect_object(raw, where)
+        _no_unknown_keys(raw, ("lanes", "gt_per_s", "flit_bytes",
+                               "propagation_ns", "credits"), where)
+        spec = cls(
+            lanes=_expect_num(raw, "lanes", where, 16, integer=True),
+            gt_per_s=_expect_num(raw, "gt_per_s", where,
+                                 params.LINK_GT_PER_S),
+            flit_bytes=_expect_num(raw, "flit_bytes", where,
+                                   params.FLIT_BYTES_SMALL, integer=True),
+            propagation_ns=_expect_num(raw, "propagation_ns", where,
+                                       params.LINK_PROPAGATION_NS),
+            credits=_expect_num(raw, "credits", where,
+                                params.DEFAULT_LINK_CREDITS, integer=True))
+        if spec.lanes <= 0:
+            _fail(f"{where}.lanes", f"must be positive, got {spec.lanes}")
+        if spec.credits <= 0:
+            _fail(f"{where}.credits",
+                  f"must be positive, got {spec.credits}")
+        return spec
+
+
+@dataclasses.dataclass(frozen=True)
+class SwitchSpec:
+    """One fabric switch; ``scheduler=None`` inherits the descriptor's."""
+
+    name: str
+    scheduler: Optional[str] = None
+    scheduler_capacity: int = 64
+    ingress_buffer: int = 128
+    port_latency_ns: float = params.SWITCH_PORT_LATENCY_NS
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"name": self.name}
+        if self.scheduler is not None:
+            out["scheduler"] = self.scheduler
+        if self.scheduler_capacity != 64:
+            out["scheduler_capacity"] = self.scheduler_capacity
+        if self.ingress_buffer != 128:
+            out["ingress_buffer"] = self.ingress_buffer
+        if self.port_latency_ns != params.SWITCH_PORT_LATENCY_NS:
+            out["port_latency_ns"] = self.port_latency_ns
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: Any, where: str) -> "SwitchSpec":
+        raw = _expect_object(raw, where)
+        _no_unknown_keys(raw, ("name", "scheduler", "scheduler_capacity",
+                               "ingress_buffer", "port_latency_ns"), where)
+        return cls(
+            name=_expect_str(raw, "name", where, required=True),
+            scheduler=_expect_str(raw, "scheduler", where),
+            scheduler_capacity=_expect_num(raw, "scheduler_capacity",
+                                           where, 64, integer=True),
+            ingress_buffer=_expect_num(raw, "ingress_buffer", where, 128,
+                                       integer=True),
+            port_latency_ns=_expect_num(raw, "port_latency_ns", where,
+                                        params.SWITCH_PORT_LATENCY_NS))
+
+
+@dataclasses.dataclass(frozen=True)
+class EndpointSpec:
+    """One edge device (FHA/FEA) attached to a switch in its pod."""
+
+    name: str
+    switch: str
+    role: str = "downstream"           # "upstream" (host) or "downstream"
+    link_class: Optional[str] = None   # None -> pod/descriptor default
+    control_lane: bool = False
+    tag_capacity: int = 256
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"name": self.name, "switch": self.switch}
+        if self.role != "downstream":
+            out["role"] = self.role
+        if self.link_class is not None:
+            out["link_class"] = self.link_class
+        if self.control_lane:
+            out["control_lane"] = self.control_lane
+        if self.tag_capacity != 256:
+            out["tag_capacity"] = self.tag_capacity
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: Any, where: str) -> "EndpointSpec":
+        raw = _expect_object(raw, where)
+        _no_unknown_keys(raw, ("name", "switch", "role", "link_class",
+                               "control_lane", "tag_capacity"), where)
+        role = _expect_str(raw, "role", where, default="downstream")
+        if role not in _ROLES:
+            _fail(f"{where}.role",
+                  f"expected one of {', '.join(_ROLES)}, got {role!r}")
+        return cls(
+            name=_expect_str(raw, "name", where, required=True),
+            switch=_expect_str(raw, "switch", where, required=True),
+            role=role,
+            link_class=_expect_str(raw, "link_class", where),
+            control_lane=_expect_bool(raw, "control_lane", where, False),
+            tag_capacity=_expect_num(raw, "tag_capacity", where, 256,
+                                     integer=True))
+
+
+@dataclasses.dataclass(frozen=True)
+class SwitchLinkSpec:
+    """A bidirectional switch-to-switch link (intra- or inter-pod)."""
+
+    a: str
+    b: str
+    link_class: Optional[str] = None
+    control_lane: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"a": self.a, "b": self.b}
+        if self.link_class is not None:
+            out["link_class"] = self.link_class
+        if self.control_lane:
+            out["control_lane"] = self.control_lane
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: Any, where: str) -> "SwitchLinkSpec":
+        raw = _expect_object(raw, where)
+        _no_unknown_keys(raw, ("a", "b", "link_class", "control_lane"),
+                         where)
+        return cls(
+            a=_expect_str(raw, "a", where, required=True),
+            b=_expect_str(raw, "b", where, required=True),
+            link_class=_expect_str(raw, "link_class", where),
+            control_lane=_expect_bool(raw, "control_lane", where, False))
+
+
+@dataclasses.dataclass(frozen=True)
+class PodSpec:
+    """One pod: a routing domain of switches, links and endpoints."""
+
+    name: str
+    domain: int
+    switches: Tuple[SwitchSpec, ...] = ()
+    links: Tuple[SwitchLinkSpec, ...] = ()
+    endpoints: Tuple[EndpointSpec, ...] = ()
+    link_class: Optional[str] = None   # intra-pod default
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "domain": self.domain,
+            "switches": [s.to_dict() for s in self.switches]}
+        if self.links:
+            out["links"] = [link.to_dict() for link in self.links]
+        out["endpoints"] = [e.to_dict() for e in self.endpoints]
+        if self.link_class is not None:
+            out["link_class"] = self.link_class
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: Any, where: str) -> "PodSpec":
+        raw = _expect_object(raw, where)
+        _no_unknown_keys(raw, ("name", "domain", "switches", "links",
+                               "endpoints", "link_class"), where)
+        switches_raw = raw.get("switches", [])
+        if not isinstance(switches_raw, list) or not switches_raw:
+            _fail(f"{where}.switches",
+                  "expected a non-empty list of switch objects")
+        links_raw = raw.get("links", [])
+        if not isinstance(links_raw, list):
+            _fail(f"{where}.links", "expected a list of link objects")
+        endpoints_raw = raw.get("endpoints", [])
+        if not isinstance(endpoints_raw, list):
+            _fail(f"{where}.endpoints",
+                  "expected a list of endpoint objects")
+        return cls(
+            name=_expect_str(raw, "name", where, required=True),
+            domain=_expect_num(raw, "domain", where, 0, integer=True),
+            switches=tuple(
+                SwitchSpec.from_dict(s, f"{where}.switches[{i}]")
+                for i, s in enumerate(switches_raw)),
+            links=tuple(
+                SwitchLinkSpec.from_dict(link, f"{where}.links[{i}]")
+                for i, link in enumerate(links_raw)),
+            endpoints=tuple(
+                EndpointSpec.from_dict(e, f"{where}.endpoints[{i}]")
+                for i, e in enumerate(endpoints_raw)),
+            link_class=_expect_str(raw, "link_class", where))
+
+
+@dataclasses.dataclass(frozen=True)
+class TopologyDescriptor:
+    """The whole fabric: link classes, pods, and inter-pod links."""
+
+    name: str
+    description: str = ""
+    scheduler: str = "fair"
+    link_classes: Mapping[str, LinkClassSpec] = \
+        dataclasses.field(default_factory=dict)
+    default_link_class: Optional[str] = None
+    pods: Tuple[PodSpec, ...] = ()
+    interpod: Tuple[SwitchLinkSpec, ...] = ()
+
+    # -- queries -----------------------------------------------------------
+
+    def switch_names(self) -> List[str]:
+        return [s.name for pod in self.pods for s in pod.switches]
+
+    def endpoint_names(self) -> List[str]:
+        return [e.name for pod in self.pods for e in pod.endpoints]
+
+    def endpoints_by_role(self, role: str) -> List[EndpointSpec]:
+        """Endpoints of one role, in declaration order (pods in order)."""
+        if role not in _ROLES:
+            raise DescriptorError(
+                f"unknown endpoint role {role!r}; "
+                f"expected one of {', '.join(_ROLES)}")
+        return [e for pod in self.pods for e in pod.endpoints
+                if e.role == role]
+
+    def pod_of_endpoint(self, name: str) -> PodSpec:
+        for pod in self.pods:
+            if any(e.name == name for e in pod.endpoints):
+                return pod
+        raise DescriptorError(f"no endpoint {name!r} in descriptor "
+                              f"{self.name!r}")
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "pods": len(self.pods),
+            "switches": len(self.switch_names()),
+            "endpoints": len(self.endpoint_names()),
+            "switch_links": sum(len(pod.links) for pod in self.pods)
+            + len(self.interpod),
+            "link_classes": len(self.link_classes),
+        }
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> "TopologyDescriptor":
+        """Full structural check; raises :class:`DescriptorError`."""
+        where = f"descriptor {self.name!r}"
+        if not self.name:
+            _fail("descriptor", "missing a name")
+        if not self.pods:
+            _fail(where, "needs at least one pod")
+        for class_name in self.link_classes:
+            if not class_name:
+                _fail(f"{where}.link_classes",
+                      "link class names must be non-empty")
+        self._check_link_class(self.default_link_class,
+                               f"{where}.default_link_class")
+        seen_pods: Dict[str, str] = {}
+        seen_nodes: Dict[str, str] = {}
+        switch_pod: Dict[str, PodSpec] = {}
+        for p, pod in enumerate(self.pods):
+            pwhere = f"{where}.pods[{p}] ({pod.name!r})"
+            if pod.name in seen_pods:
+                _fail(pwhere, "duplicate pod name")
+            seen_pods[pod.name] = pod.name
+            if pod.domain < 0:
+                _fail(pwhere, f"negative domain {pod.domain}")
+            self._check_link_class(pod.link_class, f"{pwhere}.link_class")
+            local_switches = set()
+            for switch in pod.switches:
+                if switch.name in seen_nodes:
+                    _fail(pwhere, f"switch name {switch.name!r} already "
+                                  f"used by a {seen_nodes[switch.name]}")
+                seen_nodes[switch.name] = "switch"
+                local_switches.add(switch.name)
+                switch_pod[switch.name] = pod
+            for i, link in enumerate(pod.links):
+                lwhere = f"{pwhere}.links[{i}]"
+                for end in (link.a, link.b):
+                    if end not in local_switches:
+                        _fail(lwhere,
+                              f"references switch {end!r} which is not in "
+                              f"pod {pod.name!r} (intra-pod links may only "
+                              f"join this pod's switches)")
+                if link.a == link.b:
+                    _fail(lwhere, f"self-link on switch {link.a!r}")
+                self._check_link_class(link.link_class,
+                                       f"{lwhere}.link_class")
+            for i, endpoint in enumerate(pod.endpoints):
+                ewhere = f"{pwhere}.endpoints[{i}]"
+                if endpoint.name in seen_nodes:
+                    _fail(ewhere,
+                          f"endpoint name {endpoint.name!r} already used "
+                          f"by a {seen_nodes[endpoint.name]}")
+                seen_nodes[endpoint.name] = "endpoint"
+                if endpoint.switch not in local_switches:
+                    _fail(ewhere,
+                          f"attached to switch {endpoint.switch!r} which "
+                          f"is not in pod {pod.name!r}; this pod has: "
+                          f"{', '.join(sorted(local_switches))}")
+                self._check_link_class(endpoint.link_class,
+                                       f"{ewhere}.link_class")
+        for i, link in enumerate(self.interpod):
+            lwhere = f"{where}.interpod[{i}]"
+            for end in (link.a, link.b):
+                if end not in switch_pod:
+                    known = ", ".join(sorted(switch_pod)) or "(none)"
+                    _fail(lwhere, f"references unknown switch {end!r}; "
+                                  f"known switches: {known}")
+            if switch_pod[link.a].name == switch_pod[link.b].name:
+                _fail(lwhere,
+                      f"joins two switches of pod "
+                      f"{switch_pod[link.a].name!r}; intra-pod links "
+                      f"belong in that pod's 'links' list")
+            self._check_link_class(link.link_class, f"{lwhere}.link_class")
+        return self
+
+    def _check_link_class(self, name: Optional[str], where: str) -> None:
+        if name is not None and name not in self.link_classes:
+            known = ", ".join(sorted(self.link_classes)) or "(none)"
+            _fail(where, f"unknown link class {name!r}; "
+                         f"defined classes: {known}")
+
+    def resolve_link_params(self, explicit: Optional[str],
+                            pod: Optional[PodSpec]) \
+            -> Optional[params.LinkParams]:
+        """Explicit class -> pod default -> descriptor default -> None."""
+        name = explicit
+        if name is None and pod is not None:
+            name = pod.link_class
+        if name is None:
+            name = self.default_link_class
+        if name is None:
+            return None
+        self._check_link_class(name, f"descriptor {self.name!r}")
+        return self.link_classes[name].to_link_params()
+
+    # -- (de)serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "schema": DESCRIPTOR_SCHEMA,
+            "name": self.name,
+        }
+        if self.description:
+            out["description"] = self.description
+        out["scheduler"] = self.scheduler
+        if self.link_classes:
+            out["link_classes"] = {
+                name: spec.to_dict()
+                for name, spec in sorted(self.link_classes.items())}
+        if self.default_link_class is not None:
+            out["default_link_class"] = self.default_link_class
+        out["pods"] = [pod.to_dict() for pod in self.pods]
+        if self.interpod:
+            out["interpod"] = [link.to_dict() for link in self.interpod]
+        return out
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=False) + "\n"
+
+    @classmethod
+    def from_dict(cls, raw: Any,
+                  where: str = "descriptor") -> "TopologyDescriptor":
+        raw = _expect_object(raw, where)
+        schema = raw.get("schema", DESCRIPTOR_SCHEMA)
+        if schema != DESCRIPTOR_SCHEMA:
+            _fail(f"{where}.schema",
+                  f"unsupported schema {schema!r} (this tool reads "
+                  f"{DESCRIPTOR_SCHEMA})")
+        _no_unknown_keys(raw, ("schema", "name", "description",
+                               "scheduler", "link_classes",
+                               "default_link_class", "pods", "interpod"),
+                         where)
+        classes_raw = raw.get("link_classes", {})
+        classes_raw = _expect_object(classes_raw, f"{where}.link_classes")
+        pods_raw = raw.get("pods", [])
+        if not isinstance(pods_raw, list) or not pods_raw:
+            _fail(f"{where}.pods", "expected a non-empty list of pods")
+        interpod_raw = raw.get("interpod", [])
+        if not isinstance(interpod_raw, list):
+            _fail(f"{where}.interpod", "expected a list of link objects")
+        descriptor = cls(
+            name=_expect_str(raw, "name", where, required=True),
+            description=_expect_str(raw, "description", where,
+                                    default="") or "",
+            scheduler=_expect_str(raw, "scheduler", where,
+                                  default="fair") or "fair",
+            link_classes={
+                name: LinkClassSpec.from_dict(
+                    spec, f"{where}.link_classes[{name!r}]")
+                for name, spec in classes_raw.items()},
+            default_link_class=_expect_str(raw, "default_link_class",
+                                           where),
+            pods=tuple(PodSpec.from_dict(pod, f"{where}.pods[{i}]")
+                       for i, pod in enumerate(pods_raw)),
+            interpod=tuple(
+                SwitchLinkSpec.from_dict(link, f"{where}.interpod[{i}]")
+                for i, link in enumerate(interpod_raw)))
+        return descriptor.validate()
+
+
+def load_descriptor(path: Path) -> TopologyDescriptor:
+    """Read + validate one descriptor JSON file."""
+    path = Path(path)
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise DescriptorError(
+            f"cannot read descriptor {str(path)!r}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise DescriptorError(
+            f"descriptor {str(path)!r} is not valid JSON: {exc}") \
+            from None
+    return TopologyDescriptor.from_dict(raw, where=str(path))

@@ -1,0 +1,325 @@
+"""The generator zoo: parameterized builders that emit descriptors.
+
+Each generator is a pure function from typed parameters to a
+:class:`~repro.topo.descriptor.TopologyDescriptor` — no environment, no
+wiring, just data.  A new shape for an experiment or a sweep axis is a
+one-line generator call (or the committed JSON it emits), never a new
+module.
+
+Shapes:
+
+* ``star``      — one switch, hosts up / devices down (the Omega
+  testbed shape that :func:`repro.infra.build_cluster` defaults to);
+* ``chain``     — a line of switches in one pod, hosts at the head,
+  devices at the tail (worst-case hop count, C7-style trees);
+* ``fat_tree``  — pods of leaf+spine switches, pods joined spine-to-
+  spine across domains.  Intra-pod links are wide; inter-pod links are
+  narrow with their own credit budget (the DFabric hybrid regime), so
+  §3 cross-switch credit starvation is reproducible at pod scale;
+* ``dragonfly`` — groups of fully-meshed routers, one global link per
+  group pair.
+
+Every generator spreads endpoints deterministically; calling a
+generator twice with the same parameters yields equal descriptors
+(pinned by tests).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, List, Mapping
+
+from .descriptor import (
+    DescriptorError,
+    EndpointSpec,
+    LinkClassSpec,
+    PodSpec,
+    SwitchLinkSpec,
+    SwitchSpec,
+    TopologyDescriptor,
+)
+
+__all__ = ["GenParam", "Generator", "GENERATORS", "generator_names",
+           "build_generated", "star", "chain", "fat_tree", "dragonfly"]
+
+
+@dataclasses.dataclass(frozen=True)
+class GenParam:
+    """One typed generator parameter (mirrors experiments' Param)."""
+
+    type: type
+    default: Any
+    help: str = ""
+
+    def parse(self, name: str, text: str) -> Any:
+        try:
+            if self.type is bool:
+                lowered = text.lower()
+                if lowered in ("1", "true", "yes", "on"):
+                    return True
+                if lowered in ("0", "false", "no", "off"):
+                    return False
+                raise ValueError(text)
+            return self.type(text)
+        except (ValueError, TypeError):
+            raise DescriptorError(
+                f"cannot parse {text!r} as {self.type.__name__} for "
+                f"generator parameter {name!r}") from None
+
+
+@dataclasses.dataclass(frozen=True)
+class Generator:
+    """A registered shape builder: schema + build function."""
+
+    name: str
+    description: str
+    params: Mapping[str, GenParam]
+    build: Callable[..., TopologyDescriptor]
+
+    def __call__(self, **overrides: Any) -> TopologyDescriptor:
+        unknown = sorted(set(overrides) - set(self.params))
+        if unknown:
+            known = ", ".join(sorted(self.params)) or "(none)"
+            raise DescriptorError(
+                f"generator {self.name!r} has no parameter(s) "
+                f"{', '.join(unknown)}; known: {known}")
+        resolved = {key: param.default
+                    for key, param in self.params.items()}
+        resolved.update(overrides)
+        return self.build(**resolved).validate()
+
+
+def _positive(name: str, value: int, generator: str) -> int:
+    if value < 1:
+        raise DescriptorError(
+            f"generator {generator!r}: parameter {name!r} must be >= 1, "
+            f"got {value}")
+    return value
+
+
+# --------------------------------------------------------------------------
+# star
+# --------------------------------------------------------------------------
+
+
+def star(hosts: int = 2, devices: int = 2,
+         device_lanes: int = 16) -> TopologyDescriptor:
+    _positive("hosts", hosts, "star")
+    _positive("devices", devices, "star")
+    classes = {}
+    device_class = None
+    if device_lanes != 16:
+        classes["device"] = LinkClassSpec(lanes=device_lanes)
+        device_class = "device"
+    endpoints = [EndpointSpec(name=f"h{i}", switch="sw0", role="upstream")
+                 for i in range(hosts)]
+    endpoints += [EndpointSpec(name=f"d{i}", switch="sw0",
+                               link_class=device_class)
+                  for i in range(devices)]
+    return TopologyDescriptor(
+        name=f"star_h{hosts}_d{devices}",
+        description=f"one switch, {hosts} host(s) / {devices} device(s)",
+        link_classes=classes,
+        pods=(PodSpec(name="pod0", domain=0,
+                      switches=(SwitchSpec(name="sw0"),),
+                      endpoints=tuple(endpoints)),))
+
+
+# --------------------------------------------------------------------------
+# chain
+# --------------------------------------------------------------------------
+
+
+def chain(switches: int = 3, hosts: int = 1,
+          devices: int = 1) -> TopologyDescriptor:
+    _positive("switches", switches, "chain")
+    _positive("hosts", hosts, "chain")
+    _positive("devices", devices, "chain")
+    sw = tuple(SwitchSpec(name=f"sw{i}") for i in range(switches))
+    links = tuple(SwitchLinkSpec(a=f"sw{i}", b=f"sw{i + 1}")
+                  for i in range(switches - 1))
+    endpoints = [EndpointSpec(name=f"h{i}", switch="sw0", role="upstream")
+                 for i in range(hosts)]
+    endpoints += [EndpointSpec(name=f"d{i}", switch=f"sw{switches - 1}")
+                  for i in range(devices)]
+    return TopologyDescriptor(
+        name=f"chain_s{switches}_h{hosts}_d{devices}",
+        description=f"{switches}-switch chain, hosts at the head, "
+                    f"devices at the tail",
+        pods=(PodSpec(name="pod0", domain=0, switches=sw, links=links,
+                      endpoints=tuple(endpoints)),))
+
+
+# --------------------------------------------------------------------------
+# fat tree (pods of leaf+spine, joined spine-to-spine across domains)
+# --------------------------------------------------------------------------
+
+
+def fat_tree(pods: int = 2, leaves: int = 2, spines: int = 1,
+             hosts_per_leaf: int = 1, devices_per_leaf: int = 1,
+             interpod_lanes: int = 8, interpod_credits: int = 16,
+             device_lanes: int = 16,
+             device_credits: int = 32) -> TopologyDescriptor:
+    _positive("pods", pods, "fat_tree")
+    _positive("leaves", leaves, "fat_tree")
+    _positive("spines", spines, "fat_tree")
+    classes = {
+        "edge": LinkClassSpec(),
+        "intra": LinkClassSpec(),
+        "interpod": LinkClassSpec(lanes=interpod_lanes,
+                                  credits=interpod_credits),
+        "device": LinkClassSpec(lanes=device_lanes,
+                                credits=device_credits),
+    }
+    pod_specs: List[PodSpec] = []
+    for p in range(pods):
+        switches = tuple(
+            [SwitchSpec(name=f"pod{p}.leaf{l}") for l in range(leaves)]
+            + [SwitchSpec(name=f"pod{p}.spine{s}") for s in range(spines)])
+        links = tuple(
+            SwitchLinkSpec(a=f"pod{p}.leaf{l}", b=f"pod{p}.spine{s}",
+                           link_class="intra")
+            for l in range(leaves) for s in range(spines))
+        endpoints: List[EndpointSpec] = []
+        for l in range(leaves):
+            for i in range(hosts_per_leaf):
+                endpoints.append(EndpointSpec(
+                    name=f"pod{p}.h{l}.{i}", switch=f"pod{p}.leaf{l}",
+                    role="upstream", link_class="edge"))
+            for i in range(devices_per_leaf):
+                endpoints.append(EndpointSpec(
+                    name=f"pod{p}.d{l}.{i}", switch=f"pod{p}.leaf{l}",
+                    link_class="device"))
+        pod_specs.append(PodSpec(name=f"pod{p}", domain=p,
+                                 switches=switches, links=links,
+                                 endpoints=tuple(endpoints)))
+    interpod = tuple(
+        SwitchLinkSpec(a=f"pod{i}.spine{s}", b=f"pod{j}.spine{s}",
+                       link_class="interpod")
+        for i in range(pods) for j in range(i + 1, pods)
+        for s in range(spines))
+    return TopologyDescriptor(
+        name=f"fat_tree_p{pods}_l{leaves}_s{spines}",
+        description=f"{pods} pod(s) of {leaves} leaf x {spines} spine, "
+                    f"spines joined across pods on x{interpod_lanes} "
+                    f"links",
+        link_classes=classes,
+        pods=tuple(pod_specs),
+        interpod=interpod)
+
+
+# --------------------------------------------------------------------------
+# dragonfly (fully-meshed groups, one global link per group pair)
+# --------------------------------------------------------------------------
+
+
+def dragonfly(groups: int = 3, routers: int = 2,
+              hosts_per_router: int = 1, devices_per_router: int = 1,
+              global_lanes: int = 8) -> TopologyDescriptor:
+    _positive("groups", groups, "dragonfly")
+    _positive("routers", routers, "dragonfly")
+    classes = {
+        "local": LinkClassSpec(),
+        "global": LinkClassSpec(lanes=global_lanes),
+    }
+    pod_specs: List[PodSpec] = []
+    for g in range(groups):
+        switches = tuple(SwitchSpec(name=f"g{g}.r{r}")
+                         for r in range(routers))
+        links = tuple(
+            SwitchLinkSpec(a=f"g{g}.r{a}", b=f"g{g}.r{b}",
+                           link_class="local")
+            for a in range(routers) for b in range(a + 1, routers))
+        endpoints: List[EndpointSpec] = []
+        for r in range(routers):
+            for i in range(hosts_per_router):
+                endpoints.append(EndpointSpec(
+                    name=f"g{g}.h{r}.{i}", switch=f"g{g}.r{r}",
+                    role="upstream"))
+            for i in range(devices_per_router):
+                endpoints.append(EndpointSpec(
+                    name=f"g{g}.d{r}.{i}", switch=f"g{g}.r{r}"))
+        pod_specs.append(PodSpec(name=f"g{g}", domain=g,
+                                 switches=switches, links=links,
+                                 endpoints=tuple(endpoints)))
+    # One global link per group pair, rotated over routers so ports
+    # spread deterministically.
+    interpod = tuple(
+        SwitchLinkSpec(a=f"g{i}.r{(j - 1) % routers}",
+                       b=f"g{j}.r{i % routers}",
+                       link_class="global")
+        for i in range(groups) for j in range(i + 1, groups))
+    return TopologyDescriptor(
+        name=f"dragonfly_g{groups}_r{routers}",
+        description=f"{groups} fully-meshed group(s) of {routers} "
+                    f"router(s), one x{global_lanes} global link per "
+                    f"group pair",
+        link_classes=classes,
+        pods=tuple(pod_specs),
+        interpod=interpod)
+
+
+GENERATORS: Dict[str, Generator] = {
+    "star": Generator(
+        name="star",
+        description="one switch, hosts upstream / devices downstream",
+        params={"hosts": GenParam(int, 2, "host endpoints"),
+                "devices": GenParam(int, 2, "device endpoints"),
+                "device_lanes": GenParam(int, 16,
+                                         "device link width (lanes)")},
+        build=star),
+    "chain": Generator(
+        name="chain",
+        description="a line of switches; hosts at the head, devices at "
+                    "the tail",
+        params={"switches": GenParam(int, 3, "switches in the chain"),
+                "hosts": GenParam(int, 1, "hosts on the first switch"),
+                "devices": GenParam(int, 1,
+                                    "devices on the last switch")},
+        build=chain),
+    "fat_tree": Generator(
+        name="fat_tree",
+        description="pods of leaf+spine switches joined spine-to-spine "
+                    "across domains",
+        params={"pods": GenParam(int, 2, "pods (one routing domain "
+                                         "each)"),
+                "leaves": GenParam(int, 2, "leaf switches per pod"),
+                "spines": GenParam(int, 1, "spine switches per pod"),
+                "hosts_per_leaf": GenParam(int, 1, "hosts per leaf"),
+                "devices_per_leaf": GenParam(int, 1, "devices per leaf"),
+                "interpod_lanes": GenParam(int, 8,
+                                           "inter-pod link width"),
+                "interpod_credits": GenParam(int, 16,
+                                             "inter-pod link credits"),
+                "device_lanes": GenParam(int, 16, "device link width"),
+                "device_credits": GenParam(int, 32,
+                                           "device link credits")},
+        build=fat_tree),
+    "dragonfly": Generator(
+        name="dragonfly",
+        description="fully-meshed router groups, one global link per "
+                    "group pair",
+        params={"groups": GenParam(int, 3, "groups (one domain each)"),
+                "routers": GenParam(int, 2, "routers per group"),
+                "hosts_per_router": GenParam(int, 1,
+                                             "hosts per router"),
+                "devices_per_router": GenParam(int, 1,
+                                               "devices per router"),
+                "global_lanes": GenParam(int, 8,
+                                         "global link width")},
+        build=dragonfly),
+}
+
+
+def generator_names() -> List[str]:
+    return sorted(GENERATORS)
+
+
+def build_generated(name: str, **overrides: Any) -> TopologyDescriptor:
+    """Build a descriptor from a registered generator by name."""
+    generator = GENERATORS.get(name)
+    if generator is None:
+        raise DescriptorError(
+            f"unknown generator {name!r}; registered: "
+            f"{', '.join(generator_names())}")
+    return generator(**overrides)

@@ -1,0 +1,103 @@
+"""Name resolution: one string names any topology in the system.
+
+A *topology spec* is the string an experiment parameter, a sweep axis,
+or ``repro topo show`` accepts.  Three forms:
+
+* a committed shape name  — ``"interleave"`` loads
+  ``repro/topo/shapes/interleave.json``;
+* a bare generator name   — ``"fat_tree"`` builds the generator with
+  its defaults;
+* a generator call        — ``"fat_tree:pods=2,leaves=2"`` overrides
+  typed parameters (values parse per the generator's schema).
+
+Unknown names raise :class:`UnknownTopologyError`, whose message lists
+every valid committed shape and generator — the CLI and the experiment
+layer surface it verbatim.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List
+
+from .descriptor import (
+    DescriptorError,
+    TopologyDescriptor,
+    load_descriptor,
+)
+from .generators import GENERATORS, generator_names
+
+__all__ = ["SHAPES_DIR", "UnknownTopologyError", "shape_names",
+           "load_shape", "resolve_topology", "topology_choices"]
+
+SHAPES_DIR = Path(__file__).parent / "shapes"
+
+
+class UnknownTopologyError(DescriptorError):
+    """A topology spec that names neither a shape nor a generator."""
+
+    def __init__(self, spec: str) -> None:
+        self.spec = spec
+        super().__init__(
+            f"unknown topology {spec!r}; committed shapes: "
+            f"{', '.join(shape_names()) or '(none)'}; generators: "
+            f"{', '.join(generator_names())} (call one with e.g. "
+            f"'fat_tree:pods=2,leaves=2')")
+
+
+def shape_names() -> List[str]:
+    """Sorted names of the committed descriptor files."""
+    return sorted(path.stem for path in SHAPES_DIR.glob("*.json"))
+
+
+def topology_choices() -> List[str]:
+    """Everything ``resolve_topology`` accepts by bare name."""
+    return sorted(set(shape_names()) | set(generator_names()))
+
+
+def load_shape(name: str) -> TopologyDescriptor:
+    """Load + validate one committed shape by name."""
+    path = SHAPES_DIR / f"{name}.json"
+    if not path.exists():
+        raise UnknownTopologyError(name)
+    return load_descriptor(path)
+
+
+def _parse_generator_args(generator_name: str,
+                          text: str) -> Dict[str, Any]:
+    generator = GENERATORS[generator_name]
+    overrides: Dict[str, Any] = {}
+    if not text:
+        return overrides
+    for item in text.split(","):
+        key, eq, value = item.partition("=")
+        key = key.strip()
+        if not eq or not key:
+            raise DescriptorError(
+                f"generator spec argument {item!r} is not name=value "
+                f"(in {generator_name!r} call)")
+        param = generator.params.get(key)
+        if param is None:
+            known = ", ".join(sorted(generator.params)) or "(none)"
+            raise DescriptorError(
+                f"generator {generator_name!r} has no parameter "
+                f"{key!r}; known: {known}")
+        overrides[key] = param.parse(key, value.strip())
+    return overrides
+
+
+def resolve_topology(spec: str) -> TopologyDescriptor:
+    """Resolve a topology spec string into a validated descriptor."""
+    if not isinstance(spec, str) or not spec:
+        raise DescriptorError(
+            f"topology spec must be a non-empty string, got {spec!r}")
+    name, colon, args = spec.partition(":")
+    if colon:
+        if name not in GENERATORS:
+            raise UnknownTopologyError(name)
+        return GENERATORS[name](**_parse_generator_args(name, args))
+    if name in GENERATORS:
+        return GENERATORS[name]()
+    if (SHAPES_DIR / f"{name}.json").exists():
+        return load_shape(name)
+    raise UnknownTopologyError(spec)

@@ -1,0 +1,111 @@
+"""Route verification over a compiled fabric.
+
+After the fabric manager fills the routing tables, these checks walk
+the tables the way flits would: from every source endpoint's ingress
+switch, follow *every* equal-cost candidate egress port toward every
+destination endpoint, and demand that each branch terminates at the
+destination without loops, dead ends, or misroutes.  The property
+tests sweep the generator zoo through this, so "the manager routes
+every generated shape" is an invariant, not a hope.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..pcie.topology import Topology
+
+__all__ = ["VerificationError", "verify_reachability", "ecmp_counts"]
+
+
+class VerificationError(ValueError):
+    """A compiled fabric whose routing tables are not fully usable."""
+
+
+def _egress_map(topology: Topology,
+                switch_name: str) -> Dict[int, str]:
+    """Egress port index -> neighbor name, for one switch."""
+    return {port: neighbor
+            for neighbor, port in topology.neighbors(switch_name)}
+
+
+def _entry_switch(topology: Topology, endpoint_name: str) -> str:
+    neighbors = topology.neighbors(endpoint_name)
+    if len(neighbors) != 1:
+        raise VerificationError(
+            f"endpoint {endpoint_name!r} has {len(neighbors)} "
+            f"attachments; expected exactly 1")
+    return neighbors[0][0]
+
+
+def verify_reachability(topology: Topology) -> Dict[str, int]:
+    """Walk every (src, dst) endpoint pair along all ECMP branches.
+
+    Returns ``{"pairs": n, "max_hops": h}`` on success; raises
+    :class:`VerificationError` naming the first broken pair otherwise.
+    """
+    egress_maps = {name: _egress_map(topology, name)
+                   for name in topology.switches}
+    hop_limit = len(topology.switches) + 1
+    pairs = 0
+    max_hops = 0
+    for src_name, src in topology.endpoints.items():
+        entry = _entry_switch(topology, src_name)
+        for dst_name, dst in topology.endpoints.items():
+            if dst_name == src_name:
+                continue
+            pairs += 1
+            # Depth-first over every candidate branch; path carries the
+            # hop count so loops surface as limit overruns.
+            stack: List[Tuple[str, int]] = [(entry, 1)]
+            while stack:
+                switch_name, hops = stack.pop()
+                if hops > hop_limit:
+                    raise VerificationError(
+                        f"route {src_name} -> {dst_name} exceeds "
+                        f"{hop_limit} switch hops at {switch_name!r} "
+                        f"(routing loop?)")
+                switch = topology.switches[switch_name]
+                try:
+                    candidates = switch.table.candidates(dst.pbr)
+                except KeyError:
+                    raise VerificationError(
+                        f"switch {switch_name!r} has no route for "
+                        f"{dst_name} ({dst.pbr!r}) on the path from "
+                        f"{src_name}") from None
+                if not candidates:
+                    raise VerificationError(
+                        f"switch {switch_name!r} has an empty candidate "
+                        f"set for {dst_name}")
+                for port in candidates:
+                    neighbor = egress_maps[switch_name].get(port)
+                    if neighbor is None:
+                        raise VerificationError(
+                            f"switch {switch_name!r} routes {dst_name} "
+                            f"out port {port}, which is not wired")
+                    if neighbor == dst_name:
+                        max_hops = max(max_hops, hops)
+                    elif neighbor in topology.endpoints:
+                        raise VerificationError(
+                            f"switch {switch_name!r} misroutes "
+                            f"{dst_name} toward endpoint {neighbor!r}")
+                    else:
+                        stack.append((neighbor, hops + 1))
+    return {"pairs": pairs, "max_hops": max_hops}
+
+
+def ecmp_counts(topology: Topology) -> Dict[Tuple[str, str], int]:
+    """Equal-cost next-hop count per (switch, destination endpoint).
+
+    Unrouted pairs are omitted (a switch with only an HBR prefix route
+    toward a foreign domain still counts — prefix candidates included).
+    """
+    counts: Dict[Tuple[str, str], int] = {}
+    for switch_name, switch in topology.switches.items():
+        for endpoint_name, endpoint in topology.endpoints.items():
+            try:
+                candidates = switch.table.candidates(endpoint.pbr)
+            except KeyError:
+                continue
+            counts[(switch_name, endpoint_name)] = len(candidates)
+    return counts

@@ -162,3 +162,60 @@ class TestBenchCli:
         import pstats
         stats = pstats.Stats(str(out))
         assert stats.total_calls > 0
+
+
+class TestTopoCli:
+    def test_topo_list_names_shapes_and_generators(self, capsys):
+        assert main(["topo", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "xswitch_fat_tree_2pod" in out
+        assert "fat_tree" in out
+        assert "defaults:" in out
+
+    def test_topo_list_json_inventory(self, capsys):
+        assert main(["topo", "list", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = [shape["name"] for shape in payload["shapes"]]
+        assert names == ["interleave", "t2_star",
+                         "xswitch_fat_tree_2pod"]
+        generators = {g["name"] for g in payload["generators"]}
+        assert {"star", "chain", "fat_tree",
+                "dragonfly"} <= generators
+
+    def test_topo_show_compiles_a_generator_call(self, capsys):
+        assert main(["topo", "show", "fat_tree:pods=2,spines=2"]) == 0
+        out = capsys.readouterr().out
+        assert "fat_tree_p2_l2_s2" in out
+        assert "interpod pod0.spine0 <-> pod1.spine0" in out
+        assert "reachability:" in out
+
+    def test_topo_show_json_embeds_compile_stats(self, capsys):
+        assert main(["topo", "show", "interleave", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "interleave"
+        assert payload["compiled"]["pairs"] == 6
+
+    def test_topo_show_unknown_lists_choices(self, capsys):
+        assert main(["topo", "show", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown topology 'nope'" in err
+        assert "xswitch_fat_tree_2pod" in err
+        assert "fat_tree" in err
+
+    def test_topo_validate_passes_committed_shapes(self, capsys):
+        assert main(["topo", "validate"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("ok   ") == 3
+        assert "FAIL" not in out
+
+    def test_topo_validate_rejects_broken_file(self, tmp_path, capsys):
+        bad = tmp_path / "broken.json"
+        bad.write_text(json.dumps(
+            {"name": "broken",
+             "pods": [{"name": "p", "switches": [{"name": "s"}],
+                       "endpoints": [{"name": "e",
+                                      "switch": "missing"}]}]}))
+        assert main(["topo", "validate", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "not in pod" in out

@@ -1,0 +1,320 @@
+"""Tests for the declarative topology layer (repro.topo).
+
+Covers the descriptor schema (round-trip + error paths), the generator
+zoo (property sweep: every generated shape routes fully), the
+deterministic compiler, the committed shapes (pinned to the calls that
+produced them), name resolution, and the topology-parameterized
+experiment/sweep integration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments import ExperimentError, run_summary
+from repro.experiments.sweep import SweepSpec, run_sweep
+from repro.infra import ClusterSpec, build_cluster
+from repro.infra.cluster import cluster_descriptor
+from repro.sim import Environment
+from repro.topo import (
+    DescriptorError,
+    EndpointSpec,
+    LinkClassSpec,
+    PodSpec,
+    SwitchLinkSpec,
+    SwitchSpec,
+    TopologyDescriptor,
+    UnknownTopologyError,
+    build_generated,
+    compile_topology,
+    ecmp_counts,
+    fat_tree,
+    load_shape,
+    resolve_topology,
+    shape_names,
+    verify_reachability,
+)
+from repro.pcie import Topology
+
+
+def _minimal(**overrides) -> TopologyDescriptor:
+    base = dict(
+        name="mini",
+        pods=(PodSpec(name="pod0", domain=0,
+                      switches=(SwitchSpec(name="sw0"),),
+                      endpoints=(
+                          EndpointSpec(name="h0", switch="sw0",
+                                       role="upstream"),
+                          EndpointSpec(name="d0", switch="sw0"),
+                      )),))
+    base.update(overrides)
+    return TopologyDescriptor(**base)
+
+
+class TestDescriptorSchema:
+    def test_round_trip_is_lossless(self):
+        for descriptor in (
+                _minimal().validate(),
+                build_generated("star", hosts=3, device_lanes=8),
+                build_generated("chain", switches=4),
+                fat_tree(pods=3, spines=2, interpod_credits=8),
+                build_generated("dragonfly", groups=3, routers=3)):
+            raw = json.loads(descriptor.to_json())
+            again = TopologyDescriptor.from_dict(raw)
+            assert again == descriptor
+            assert again.to_json() == descriptor.to_json()
+
+    def test_duplicate_pod_name_rejected(self):
+        pod = PodSpec(name="pod0", domain=0,
+                      switches=(SwitchSpec(name="a"),))
+        other = PodSpec(name="pod0", domain=1,
+                        switches=(SwitchSpec(name="b"),))
+        with pytest.raises(DescriptorError, match="duplicate pod name"):
+            TopologyDescriptor(name="x", pods=(pod, other)).validate()
+
+    def test_endpoint_on_foreign_switch_rejected(self):
+        descriptor = _minimal(pods=(
+            PodSpec(name="pod0", domain=0,
+                    switches=(SwitchSpec(name="sw0"),),
+                    endpoints=(EndpointSpec(name="h0",
+                                            switch="elsewhere"),)),))
+        with pytest.raises(DescriptorError,
+                           match="not in pod 'pod0'"):
+            descriptor.validate()
+
+    def test_intra_pod_link_may_not_leave_the_pod(self):
+        descriptor = TopologyDescriptor(
+            name="x",
+            pods=(PodSpec(name="pod0", domain=0,
+                          switches=(SwitchSpec(name="a"),),
+                          links=(SwitchLinkSpec(a="a", b="b"),)),
+                  PodSpec(name="pod1", domain=1,
+                          switches=(SwitchSpec(name="b"),))))
+        with pytest.raises(DescriptorError,
+                           match="intra-pod links may only join"):
+            descriptor.validate()
+
+    def test_interpod_link_within_one_pod_rejected(self):
+        descriptor = TopologyDescriptor(
+            name="x",
+            pods=(PodSpec(name="pod0", domain=0,
+                          switches=(SwitchSpec(name="a"),
+                                    SwitchSpec(name="b"))),),
+            interpod=(SwitchLinkSpec(a="a", b="b"),))
+        with pytest.raises(DescriptorError,
+                           match="belong in that pod's 'links'"):
+            descriptor.validate()
+
+    def test_unknown_link_class_rejected_with_known_list(self):
+        descriptor = _minimal(default_link_class="nope",
+                              link_classes={"fast": LinkClassSpec()})
+        with pytest.raises(DescriptorError,
+                           match=r"unknown link class 'nope'.*fast"):
+            descriptor.validate()
+
+    def test_from_dict_error_paths_carry_json_paths(self):
+        with pytest.raises(DescriptorError, match=r"pods\[0\]\.switches"):
+            TopologyDescriptor.from_dict(
+                {"name": "x", "pods": [{"name": "p", "switches": []}]})
+        with pytest.raises(DescriptorError,
+                           match=r"endpoints\[0\]\.role"):
+            TopologyDescriptor.from_dict(
+                {"name": "x",
+                 "pods": [{"name": "p",
+                           "switches": [{"name": "s"}],
+                           "endpoints": [{"name": "e", "switch": "s",
+                                          "role": "sideways"}]}]})
+        with pytest.raises(DescriptorError, match="unknown key"):
+            TopologyDescriptor.from_dict(
+                {"name": "x", "frobnicate": 1,
+                 "pods": [{"name": "p", "switches": [{"name": "s"}]}]})
+        with pytest.raises(DescriptorError, match="unsupported schema"):
+            TopologyDescriptor.from_dict(
+                {"schema": 99, "name": "x",
+                 "pods": [{"name": "p", "switches": [{"name": "s"}]}]})
+
+    def test_endpoints_by_role_rejects_bad_role(self):
+        with pytest.raises(DescriptorError, match="unknown endpoint role"):
+            _minimal().endpoints_by_role("sideways")
+
+
+#: One entry per generator family, including non-default params — the
+#: reachability property must hold across the whole zoo.
+PROPERTY_SHAPES = [
+    "star",
+    "star:hosts=3,devices=1,device_lanes=4",
+    "chain:switches=4,hosts=2,devices=2",
+    "fat_tree",
+    "fat_tree:pods=3,leaves=2,spines=2",
+    "fat_tree:pods=2,leaves=3,spines=3,hosts_per_leaf=2",
+    "dragonfly",
+    "dragonfly:groups=4,routers=3",
+]
+
+
+class TestGeneratorProperties:
+    @pytest.mark.parametrize("spec", PROPERTY_SHAPES)
+    def test_every_generated_shape_fully_routes(self, spec):
+        descriptor = resolve_topology(spec)
+        fabric = compile_topology(descriptor, Environment())
+        checks = verify_reachability(fabric.topology)
+        endpoints = len(descriptor.endpoint_names())
+        assert checks["pairs"] == endpoints * (endpoints - 1)
+
+    @pytest.mark.parametrize("spines", [1, 2, 3])
+    def test_fat_tree_cross_leaf_ecmp_width_equals_spines(self, spines):
+        descriptor = fat_tree(pods=2, leaves=2, spines=spines)
+        fabric = compile_topology(descriptor, Environment())
+        counts = ecmp_counts(fabric.topology)
+        # Same pod, different leaf: every spine is an equal-cost hop.
+        assert counts[("pod0.leaf0", "pod0.d1.0")] == spines
+        # Cross-pod traffic collapses onto one HBR prefix route.
+        assert counts[("pod0.leaf0", "pod1.d0.0")] == 1
+        # Local delivery is the single edge port.
+        assert counts[("pod0.leaf0", "pod0.d0.0")] == 1
+
+    def test_generators_are_pure(self):
+        assert fat_tree(pods=3) == fat_tree(pods=3)
+        assert build_generated("dragonfly") == build_generated("dragonfly")
+
+    def test_compilation_is_deterministic(self):
+        descriptor = fat_tree(pods=2, spines=2)
+        one = compile_topology(descriptor, Environment())
+        two = compile_topology(descriptor, Environment())
+        assert one.describe() == two.describe()
+        assert ecmp_counts(one.topology) == ecmp_counts(two.topology)
+        assert one.routes_installed == two.routes_installed
+
+    def test_generator_rejects_unknown_and_bad_params(self):
+        with pytest.raises(DescriptorError, match="no parameter"):
+            build_generated("star", wings=3)
+        with pytest.raises(DescriptorError, match="must be >= 1"):
+            build_generated("chain", switches=0)
+
+
+class TestCommittedShapes:
+    def test_the_three_shapes_are_committed(self):
+        assert shape_names() == ["interleave", "t2_star",
+                                 "xswitch_fat_tree_2pod"]
+
+    def test_every_committed_shape_compiles_and_routes(self):
+        for name in shape_names():
+            fabric = compile_topology(load_shape(name), Environment())
+            verify_reachability(fabric.topology)
+
+    def test_xswitch_shape_pins_its_generator_call(self):
+        expected = dataclasses.replace(
+            fat_tree(interpod_credits=8, device_lanes=4,
+                     device_credits=4),
+            name="xswitch_fat_tree_2pod",
+            description=load_shape("xswitch_fat_tree_2pod").description)
+        assert load_shape("xswitch_fat_tree_2pod") == expected
+
+    def test_t2_star_shape_pins_the_cluster_derivation(self):
+        expected = dataclasses.replace(
+            cluster_descriptor(ClusterSpec(hosts=1), name="t2_star"),
+            description=load_shape("t2_star").description)
+        assert load_shape("t2_star") == expected
+
+
+class TestResolve:
+    def test_unknown_name_lists_every_choice(self):
+        with pytest.raises(UnknownTopologyError) as err:
+            resolve_topology("nope")
+        message = str(err.value)
+        assert "interleave" in message
+        assert "fat_tree" in message
+
+    def test_generator_call_parses_typed_args(self):
+        descriptor = resolve_topology("fat_tree:pods=3,spines=2")
+        assert descriptor.name == "fat_tree_p3_l2_s2"
+
+    def test_generator_call_rejects_bad_args(self):
+        with pytest.raises(DescriptorError, match="no parameter"):
+            resolve_topology("fat_tree:wings=3")
+        with pytest.raises(DescriptorError, match="cannot parse"):
+            resolve_topology("fat_tree:pods=two")
+        with pytest.raises(DescriptorError, match="name=value"):
+            resolve_topology("fat_tree:pods")
+
+    def test_bare_generator_name_uses_defaults(self):
+        assert resolve_topology("star") == build_generated("star")
+
+    def test_committed_shape_resolves_by_stem(self):
+        assert resolve_topology("interleave").name == "interleave"
+
+
+class TestTopologyRegistry:
+    def test_duplicate_names_rejected_across_kinds(self):
+        topology = Topology(Environment())
+        topology.add_switch("node")
+        with pytest.raises(ValueError,
+                           match="already registered as a switch"):
+            topology.add_endpoint("node")
+        topology.add_endpoint("edge")
+        with pytest.raises(ValueError,
+                           match="already registered as a endpoint"):
+            topology.add_switch("edge")
+
+    def test_unknown_names_list_registered_nodes(self):
+        topology = Topology(Environment())
+        topology.add_switch("sw0")
+        topology.add_endpoint("e0")
+        with pytest.raises(ValueError,
+                           match="unknown switch 'swX'.*sw0"):
+            topology.connect_endpoint("swX", "e0")
+        with pytest.raises(ValueError,
+                           match="unknown endpoint 'eX'.*e0"):
+            topology.connect_endpoint("sw0", "eX")
+
+
+class TestClusterIntegration:
+    def test_cluster_spec_accepts_explicit_descriptor(self):
+        env = Environment()
+        spec = ClusterSpec(hosts=1)
+        cluster = build_cluster(
+            env, dataclasses.replace(
+                spec, descriptor=cluster_descriptor(spec)))
+        assert sorted(cluster.hosts) == ["host0"]
+        assert sorted(cluster.fams) == ["fam0"]
+
+    def test_descriptor_missing_required_endpoints_is_reported(self):
+        descriptor = build_generated("star", hosts=1, devices=1)
+        with pytest.raises(ValueError,
+                           match=r"no endpoint\(s\) host0, fam0"):
+            build_cluster(Environment(),
+                          ClusterSpec(hosts=1, descriptor=descriptor))
+
+
+class TestExperimentIntegration:
+    def test_unknown_topology_param_is_an_experiment_error(self):
+        with pytest.raises(ExperimentError) as err:
+            run_summary("xswitch_starvation", topology="nope")
+        assert "xswitch_fat_tree_2pod" in str(err.value)
+        assert "fat_tree" in str(err.value)
+
+    def test_too_small_topology_is_reported(self):
+        with pytest.raises(ExperimentError, match="at least 2"):
+            run_summary("xswitch_starvation",
+                        topology="star:hosts=1,devices=1",
+                        victim_reads=1, flood_writes=1)
+
+    def test_topology_axis_sweep_is_worker_count_invariant(self, tmp_path):
+        sweep = SweepSpec.from_dict(
+            {"experiment": "xswitch_starvation",
+             "sweep": {"topology": ["xswitch_fat_tree_2pod",
+                                    "fat_tree:pods=2,leaves=2"]},
+             "params": {"victim_reads": 4, "flood_writes": 24}})
+        run_sweep(sweep, str(tmp_path / "serial"), workers=1)
+        run_sweep(sweep, str(tmp_path / "parallel"), workers=2)
+        serial = (tmp_path / "serial" / "sweep.json").read_bytes()
+        parallel = (tmp_path / "parallel" / "sweep.json").read_bytes()
+        assert serial == parallel
+        report = json.loads(serial)
+        topologies = [p["outputs"]["summary"]["topology"]
+                      for p in report["points"]]
+        assert topologies == ["xswitch_fat_tree_2pod",
+                              "fat_tree_p2_l2_s1"]
