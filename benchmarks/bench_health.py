@@ -1,0 +1,57 @@
+"""Experiment health: streaming SLO alerts on the starvation scenario.
+
+Paper (section 3, claim C5): under a ramp-up credit policy a steadily
+hot flow compounds its grant while a quiet flow decays to the floor —
+and the moment the quiet flow bursts, nearly all of its latency is
+credit stall.  The streaming health layer must *notice*: the
+quiet-route error-budget burn rate crosses the fast-burn alert
+threshold at a fixed sim time under RampUpPolicy, and the same SLO
+stays quiet under the fair StaticEqualPolicy control.
+
+The builder lives in :mod:`repro.experiments.defs.health` (experiment
+``fabric_health``); this script is its benchmark/CLI wrapper.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict
+
+from repro.experiments import render, run_summary
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import memoize
+
+#: The golden-pinned alert edge: the quiet burst starts at 12,000 ns
+#: (after six rebalance periods of decay) and the first whole window
+#: containing its stall closes at 14,000 ns.
+ALERT_FIRES_AT_NS = 14_000.0
+
+
+@memoize
+def collect() -> Dict[str, dict]:
+    return run_summary("fabric_health")
+
+
+def test_health_alert_fires_at_the_pinned_edge(benchmark):
+    summary = benchmark.pedantic(collect, rounds=1, iterations=1)
+    alerts = summary["cases"]["rampup"]["alerts"]
+    assert [a["fired_at"] for a in alerts] == [ALERT_FIRES_AT_NS]
+    assert alerts[0]["slo"] == "quiet_route_stall"
+    benchmark.extra_info["fired_at_ns"] = alerts[0]["fired_at"]
+
+
+def test_health_fair_policy_stays_quiet(benchmark):
+    summary = benchmark.pedantic(collect, rounds=1, iterations=1)
+    fair = summary["cases"]["fair"]
+    assert fair["alerts"] == []
+    assert fair["anomaly_ns"] == []
+    benchmark.extra_info["peak_burn"] = fair["peak_burn"]
+
+
+def main() -> None:
+    render("fabric_health", summary=collect())
+
+
+if __name__ == "__main__":
+    main()

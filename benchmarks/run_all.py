@@ -316,6 +316,51 @@ def main(argv: Optional[List[str]] = None) -> int:
     check("causal_full_tracing_bounded", full_ratio < 3.0)
     check("causal_sampling_reduces_roots", roots_sampled < roots_full)
 
+    # -- streaming health: overhead + schedule identity -------------------
+    # Baseline: the causal run plus the offline `repro why` report —
+    # the post-hoc equivalent of everything the streaming monitor
+    # computes.  Streaming the same analysis window-by-window (windowed
+    # series, incremental attribution, SLO/anomaly passes) must cost at
+    # most 5% more wall clock, and the monitored run must process
+    # exactly as many kernel events as the causal run it observes.
+    from repro.telemetry.health import run_health
+    health_scenario = "starvation"
+    base_best = health_best = None
+    base_events = health_events = 0
+    health_windows = health_alerts = 0
+    for _ in range(t_rounds):
+        result, wall_base, ev_base = _timed(
+            lambda: run_scenario(health_scenario, causal=True))
+        _, wall_report, _ = _timed(result.attribution_report)
+        wall_base += wall_report
+        if base_best is None or wall_base < base_best:
+            base_best, base_events = wall_base, ev_base
+        (result, report), wall_health, ev_health = _timed(
+            lambda: run_health(health_scenario))
+        if health_best is None or wall_health < health_best:
+            health_best, health_events = wall_health, ev_health
+            health_windows = len(report["windows"])
+            health_alerts = sum(len(alert["episodes"])
+                                for slo in report["slos"]
+                                for alert in slo["alerts"])
+    health_ratio = health_best / base_best if base_best > 0 else 0.0
+    record("health_overhead", health_best, health_events, {
+        "scenario": health_scenario,
+        "best_of": t_rounds,
+        "baseline": "causal run + offline attribution report",
+        "baseline_wall_s": round(base_best, 4),
+        "health_wall_s": round(health_best, 4),
+        "health_vs_baseline": round(health_ratio, 3),
+        "model_events_baseline": base_events,
+        "model_events_health": health_events,
+        "windows": health_windows,
+        "alert_episodes": health_alerts,
+    })
+    check("health_overhead_bounded", health_ratio <= 1.05)
+    check("health_model_events_identical",
+          health_events == base_events)
+    check("health_alert_fired", health_alerts >= 1)
+
     # -- report ----------------------------------------------------------
     payload = {
         "schema": 1,

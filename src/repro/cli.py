@@ -271,6 +271,59 @@ def cmd_why(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_health(args: argparse.Namespace) -> int:
+    """Streaming health: windowed series, SLO burn rates, alerts."""
+    from .telemetry.dashboard import render_dashboard
+    from .telemetry.health import (HealthError, SloSpec, run_health,
+                                   validate_health_report)
+    try:
+        spec = SloSpec.load(args.slo) if args.slo else None
+        result, report = run_health(args.scenario, policy=args.policy,
+                                    window_ns=args.window,
+                                    interval_ns=args.interval,
+                                    spec=spec,
+                                    causal_sample=args.sample)
+        validate_health_report(report)
+    except (HealthError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.html:
+        Path(args.html).write_text(render_dashboard(report))
+        print(f"health: wrote dashboard {args.html}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    windows = report["windows"]
+    print(f"health[{report['scenario']}]: policy {report['policy']}, "
+          f"{len(windows)} windows of {report['window_ns']:,.0f} ns, "
+          f"{report['trace']['analyzed']} transactions attributed")
+    for slo in report["slos"]:
+        burns = [b for b in slo["burn"] if b is not None]
+        peak = f"{max(burns):,.2f}x" if burns else "no data"
+        print(f"\nslo {slo['name']} (target {slo['target']:.0%}, "
+              f"budget {slo['budget']:.0%}): peak burn {peak}")
+        for alert in slo["alerts"]:
+            if not alert["episodes"]:
+                print(f"  alert {alert['rule']} "
+                      f"(>= {alert['burn_rate']:g}x): quiet")
+            for episode in alert["episodes"]:
+                cleared = episode["cleared_at"]
+                tail = (f"cleared at {cleared:,.1f} ns"
+                        if cleared is not None else "still firing")
+                print(f"  alert {alert['rule']} "
+                      f"(>= {alert['burn_rate']:g}x): FIRED at "
+                      f"{episode['fired_at']:,.1f} ns, {tail}")
+    for rule in report["anomalies"]:
+        if rule["points"]:
+            at = ", ".join(f"{p['t']:,.1f}" for p in rule["points"])
+            print(f"\nanomaly {rule['name']}: {len(rule['points'])} "
+                  f"point(s) at {at} ns")
+        else:
+            print(f"\nanomaly {rule['name']}: none")
+    print(f"\nsummary: {json.dumps(result.summary)}")
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     """Diff two recorded payloads; exit 1 on regressions, 2 on bad input."""
     from .telemetry.compare import (ComparisonError, compare_payloads,
@@ -643,9 +696,45 @@ def main(argv: Optional[List[str]] = None) -> int:
     why.add_argument("--json", action="store_true",
                      help="print the full attribution document "
                           "(schema-stable)")
+    health = sub.add_parser(
+        "health", help="streaming windowed telemetry, SLO burn-rate "
+                       "alerts, anomaly detection")
+    health.add_argument("--scenario", required=True, help=scenario_help)
+    health.add_argument("--policy", default="rampup",
+                        choices=["rampup", "fair"],
+                        help="starvation credit policy: rampup (the "
+                             "pathological default) or fair "
+                             "(StaticEqualPolicy control); other "
+                             "scenarios accept only rampup")
+    health.add_argument("--window", type=float, default=2_000.0,
+                        help="tumbling window width in sim ns; must "
+                             "be a multiple of --interval "
+                             "(default 2000)")
+    health.add_argument("--interval", type=float, default=1_000.0,
+                        help="TimelineSampler cadence in sim ns "
+                             "(default 1000)")
+    health.add_argument("--sample", type=int, default=1, metavar="N",
+                        help="trace one of every N transaction roots "
+                             "(default 1: every transaction)")
+    health.add_argument("--slo", metavar="SPEC.json", default=None,
+                        help="SLO spec file; default: the scenario's "
+                             "built-in spec")
+    health.add_argument("--html", metavar="OUT.html", default=None,
+                        help="also write a self-contained static HTML "
+                             "dashboard")
+    health.add_argument("--json", action="store_true",
+                        help="print the full health report "
+                             "(schema-stable)")
     compare = sub.add_parser(
         "compare", help="diff two recorded payloads (BENCH or why "
-                        "JSON); non-zero exit on regression")
+                        "JSON); non-zero exit on regression",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="exit codes:\n"
+               "  0  no metric regressed beyond the threshold\n"
+               "  1  at least one regression (each printed as "
+               "REGRESSION: ...)\n"
+               "  2  bad input (unreadable file, schema mismatch, "
+               "incomparable payloads)")
     compare.add_argument("baseline", help="baseline JSON payload")
     compare.add_argument("candidate", help="candidate JSON payload")
     compare.add_argument("--threshold", type=float, default=0.10,
@@ -715,6 +804,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                "demo": cmd_demo, "perf": cmd_perf,
                "check": cmd_check, "trace": cmd_trace,
                "metrics": cmd_metrics, "why": cmd_why,
+               "health": cmd_health,
                "compare": cmd_compare, "list": cmd_list,
                "bench": cmd_bench, "sweep": cmd_sweep,
                "topo": cmd_topo}[args.command]

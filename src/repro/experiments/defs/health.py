@@ -1,0 +1,91 @@
+"""The streaming-health experiment: golden-pinned alert timelines.
+
+``fabric_health`` runs a canonical scenario under the
+:class:`~repro.telemetry.health.HealthMonitor` and summarizes what the
+SLO layer concluded: how many windows closed, which burn-rate alerts
+fired and exactly *when* (sim time), and where the anomaly detector
+flagged points.  For the starvation scenario it runs both credit
+policies — the pathological ``rampup`` default and the ``fair``
+control — so the registry pins the §3 C5 contrast end to end: the
+quiet-route SLO alert fires at a fixed sim time under RampUpPolicy and
+never fires under StaticEqualPolicy.  Tests and the benchmark harness
+pin this summary; a model change that moves an alert edge shows up as
+a golden diff, not a silent drift.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ...telemetry.health import DEFAULT_WINDOW_NS, run_health
+from ...telemetry.sampler import DEFAULT_INTERVAL_NS
+from ..format import print_table
+from ..registry import ExperimentError, Param, experiment
+
+
+def _case(scenario: str, policy: str, window_ns: float,
+          interval_ns: float) -> Dict[str, Any]:
+    result, report = run_health(scenario, policy=policy,
+                                window_ns=window_ns,
+                                interval_ns=interval_ns)
+    alerts = []
+    peak = 0.0
+    for slo in report["slos"]:
+        peak = max(peak, *(b for b in slo["burn"] if b is not None),
+                   0.0)
+        for alert in slo["alerts"]:
+            for episode in alert["episodes"]:
+                alerts.append({"slo": slo["name"],
+                               "rule": alert["rule"],
+                               "fired_at": episode["fired_at"],
+                               "cleared_at": episode["cleared_at"]})
+    anomalies = [point["t"] for rule in report["anomalies"]
+                 for point in rule["points"]]
+    return {"windows": len(report["windows"]),
+            "alerts": alerts,
+            "anomaly_ns": anomalies,
+            "peak_burn": round(peak, 4),
+            "txns_attributed": report["trace"]["analyzed"],
+            "events_processed": result.env.stats["events_processed"]}
+
+
+def render_fabric_health(summary: Dict[str, Any],
+                         _params: Dict[str, Any]) -> None:
+    rows = []
+    for case, data in summary["cases"].items():
+        first = data["alerts"][0]["fired_at"] if data["alerts"] \
+            else "-"
+        rows.append([case, data["windows"], len(data["alerts"]),
+                     first, data["peak_burn"],
+                     len(data["anomaly_ns"])])
+    print_table(
+        f"fabric health: {summary['scenario']} in "
+        f"{summary['window_ns']:,.0f} ns windows",
+        ["case", "windows", "alerts", "first fired ns", "peak burn",
+         "anomalies"], rows)
+
+
+@experiment(
+    "fabric_health",
+    "streaming SLO burn-rate alerts on a canonical scenario",
+    params={"scenario": Param(str, "starvation",
+                              "t2, starvation or interleave; "
+                              "starvation runs both credit policies"),
+            "window_ns": Param(float, DEFAULT_WINDOW_NS,
+                               "tumbling window width (sim ns)"),
+            "interval_ns": Param(float, DEFAULT_INTERVAL_NS,
+                                 "sampler cadence (sim ns)")},
+    render=render_fabric_health)
+def run_fabric_health(ctx) -> Dict[str, Any]:
+    from ...telemetry.health import HealthError
+    policies = ("rampup", "fair") if ctx.scenario == "starvation" \
+        else ("rampup",)
+    cases = {}
+    for policy in policies:
+        try:
+            cases[policy] = _case(ctx.scenario, policy, ctx.window_ns,
+                                  ctx.interval_ns)
+        except (HealthError, ValueError) as exc:
+            raise ExperimentError(str(exc)) from None
+    return {"scenario": ctx.scenario, "window_ns": ctx.window_ns,
+            "cases": cases}

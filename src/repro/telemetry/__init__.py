@@ -20,7 +20,11 @@ always-available, near-zero-overhead observability layer:
   (loadable at https://ui.perfetto.dev) plus the schema validator CI
   runs on exported files;
 * :mod:`repro.telemetry.scenarios` — canonical instrumented runs
-  behind ``repro trace <scenario>`` and ``repro metrics <scenario>``.
+  behind ``repro trace <scenario>`` and ``repro metrics <scenario>``;
+* :mod:`repro.telemetry.health` — streaming windowed series, SLO
+  burn-rate alerting and anomaly detection behind ``repro health``,
+  with :mod:`repro.telemetry.dashboard` rendering the static HTML
+  view.
 
 Enable per environment — ``Environment(telemetry=True)`` (or pass a
 :class:`Telemetry`) — and read it back as ``env.telemetry``.  Off is
@@ -37,6 +41,15 @@ from .attribution import (
 )
 from .causal import CausalRecorder, TraceContext
 from .core import Telemetry, span
+from .dashboard import render_dashboard
+from .health import (
+    HealthError,
+    HealthMonitor,
+    SloSpec,
+    default_slo_spec,
+    run_health,
+    validate_health_report,
+)
 from .metrics import Counter, Gauge, Histogram, MetricRegistry
 from .perfetto import ChromeTraceError, to_chrome_trace, validate_chrome_trace
 from .sampler import TimelineSampler
@@ -47,15 +60,22 @@ __all__ = [
     "ChromeTraceError",
     "Counter",
     "Gauge",
+    "HealthError",
+    "HealthMonitor",
     "Histogram",
     "MetricRegistry",
+    "SloSpec",
     "TDigest",
     "Telemetry",
     "TimelineSampler",
     "TraceContext",
     "build_report",
+    "default_slo_spec",
+    "render_dashboard",
+    "run_health",
     "span",
     "to_chrome_trace",
     "validate_chrome_trace",
     "validate_attribution",
+    "validate_health_report",
 ]

@@ -100,6 +100,14 @@ class CausalRecorder:
         self.sample = sample
         self.capacity = capacity
         self.events: Deque[Tuple] = deque(maxlen=capacity)
+        #: Optional streaming consumer ``tap(record)`` called with
+        #: every appended tuple (after it lands in ``events``).  None
+        #: by default: the hot path pays one ``is None`` branch, the
+        #: same deal as telemetry itself.  The health monitor sets
+        #: this to stream records into per-window attribution without
+        #: re-scanning the ring — O(events) total instead of
+        #: O(events x windows).  A tap must never touch the kernel.
+        self.tap = None
         self.started = 0
         self.finished = 0
         self.roots_seen = 0
@@ -124,11 +132,17 @@ class CausalRecorder:
     def txn_begin(self, ctx: TraceContext, ts: float, kind: str,
                   route: str) -> None:
         self.started += 1
-        self.events.append((_TXN, ts, ctx.trace_id, kind, route))
+        record = (_TXN, ts, ctx.trace_id, kind, route)
+        self.events.append(record)
+        if self.tap is not None:
+            self.tap(record)
 
     def txn_end(self, ctx: TraceContext, ts: float) -> None:
         self.finished += 1
-        self.events.append((_FIN, ts, ctx.trace_id))
+        record = (_FIN, ts, ctx.trace_id)
+        self.events.append(record)
+        if self.tap is not None:
+            self.tap(record)
 
     # -- intervals -------------------------------------------------------
 
@@ -137,22 +151,34 @@ class CausalRecorder:
         """Open an interval; returns the span id to close it with."""
         self._next_span += 1
         sid = self._next_span
-        self.events.append((_BEGIN, ts, ctx.trace_id, sid,
-                            ctx.span_id, category, site))
+        record = (_BEGIN, ts, ctx.trace_id, sid,
+                  ctx.span_id, category, site)
+        self.events.append(record)
+        if self.tap is not None:
+            self.tap(record)
         return sid
 
     def end(self, ctx: TraceContext, ts: float, sid: int) -> None:
-        self.events.append((_END, ts, ctx.trace_id, sid))
+        record = (_END, ts, ctx.trace_id, sid)
+        self.events.append(record)
+        if self.tap is not None:
+            self.tap(record)
 
     def interval(self, ctx: TraceContext, t0: float, t1: float,
                  category: str, site: str) -> None:
         """Record a closed interval retroactively (both edges known)."""
         sid = self.begin(ctx, t0, category, site)
-        self.events.append((_END, t1, ctx.trace_id, sid))
+        record = (_END, t1, ctx.trace_id, sid)
+        self.events.append(record)
+        if self.tap is not None:
+            self.tap(record)
 
     def mark(self, ctx: TraceContext, ts: float, name: str,
              site: str) -> None:
-        self.events.append((_MARK, ts, ctx.trace_id, name, site))
+        record = (_MARK, ts, ctx.trace_id, name, site)
+        self.events.append(record)
+        if self.tap is not None:
+            self.tap(record)
 
     # -- waits on kernel events ------------------------------------------
 
@@ -170,10 +196,12 @@ class CausalRecorder:
             return
         sid = self.begin(ctx, event.env.now, category, site)
         tid = ctx.trace_id
-        events = self.events
 
-        def _close(ev, events=events, tid=tid, sid=sid):
-            events.append((_END, ev.env.now, tid, sid))
+        def _close(ev, rec=self, tid=tid, sid=sid):
+            record = (_END, ev.env.now, tid, sid)
+            rec.events.append(record)
+            if rec.tap is not None:
+                rec.tap(record)
 
         event.callbacks.append(_close)
 

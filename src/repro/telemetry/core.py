@@ -102,6 +102,13 @@ class Telemetry:
         self._tracks: Dict[str, int] = {}
         #: (metric name, track name, callable) in registration order.
         self._probes: List[Tuple[str, str, Callable[[], float]]] = []
+        #: Ticker callables ``fn(now)`` invoked by the TimelineSampler
+        #: after each probe sweep — the hook the streaming health
+        #: monitor hangs its window closing on.  Tickers piggyback on
+        #: the sampler's existing daemon process, so registering one
+        #: adds zero kernel events: model schedules stay bit-identical
+        #: with or without any ticker attached.
+        self._tickers: List[Callable[[float], None]] = []
 
     # -- wiring ----------------------------------------------------------
 
@@ -172,12 +179,34 @@ class Telemetry:
         if track is None:
             head, _, tail = name.rpartition(".")
             track = head or DEFAULT_TRACK
+        if any(name == existing for existing, _t, _f in self._probes):
+            raise ValueError(
+                f"probe {name!r} already registered; registered "
+                f"probes: "
+                f"{', '.join(sorted(n for n, _t, _f in self._probes))}")
         self._probes.append((name, track, fn))
         self.registry.gauge(name)
 
     @property
     def probes(self) -> List[Tuple[str, str, Callable[[], float]]]:
         return list(self._probes)
+
+    # -- tickers ---------------------------------------------------------
+
+    def add_ticker(self, fn: Callable[[float], None]) -> None:
+        """Register ``fn(now)`` to run after each sampler probe sweep.
+
+        Tickers are how streaming consumers (the health monitor,
+        future feedback policies) observe sim time advancing without
+        scheduling kernel events of their own: the TimelineSampler's
+        daemon process already wakes every ``interval_ns``, and its
+        events exist whether or not anything ticks — so the
+        events_processed identity the telemetry tests pin is
+        untouched.  Tickers must be pure observers of telemetry state
+        (registry, causal recorder); touching model resources from one
+        would break the bit-identity contract.
+        """
+        self._tickers.append(fn)
 
     # -- export ----------------------------------------------------------
 

@@ -158,6 +158,61 @@ class Histogram:
                             for low, high, n in self.buckets()],
                 "last_time": self.last_time}
 
+    def snapshot_delta(self, prev: Optional[Dict[str, Any]]
+                       ) -> Dict[str, Any]:
+        """The window between a previous :meth:`to_dict` and now.
+
+        ``prev=None`` means "since the beginning" (the delta is the
+        full cumulative state).  The result has the :meth:`to_dict`
+        shape minus ``min``/``max``/``last_time`` — bucket counts only
+        ever grow, so count/sum/quantiles are exactly derivable per
+        window, but extremes are not (a window's min cannot be
+        recovered from two cumulative snapshots).  An empty window
+        (no new observations) reports ``count 0`` with ``None``
+        mean/quantiles, matching the idle-histogram convention of
+        :meth:`quantile`.
+        """
+        if prev is None:
+            prev_count, prev_total = 0, 0.0
+            prev_buckets: Dict[int, int] = {}
+        else:
+            prev_count = prev["count"]
+            prev_total = prev["sum"]
+            prev_buckets = {row["high"]: row["count"]
+                            for row in prev["buckets"]}
+        count = self.count - prev_count
+        total = self.total - prev_total
+        if count < 0:
+            raise ValueError(
+                f"histogram {self.name!r}: snapshot_delta given a "
+                f"*newer* snapshot ({prev_count} > {self.count} "
+                "observations)")
+        rows = []
+        for low, high, n in self.buckets():
+            delta = n - prev_buckets.get(high, 0)
+            if delta:
+                rows.append((low, high, delta))
+
+        def _quantile(q: float) -> Optional[float]:
+            if not count:
+                return None
+            rank = q * count
+            seen = 0
+            for _low, high, n in rows:
+                seen += n
+                if seen >= rank:
+                    return high
+            return rows[-1][1]
+
+        return {"kind": self.kind, "count": count,
+                "sum": total,
+                "mean": total / count if count else None,
+                "p50": _quantile(0.50),
+                "p95": _quantile(0.95),
+                "p99": _quantile(0.99),
+                "buckets": [{"low": low, "high": high, "count": n}
+                            for low, high, n in rows]}
+
 
 class MetricRegistry:
     """Hierarchically named metrics, snapshottable to JSON.
@@ -196,6 +251,46 @@ class MetricRegistry:
 
     def histogram(self, name: str) -> Histogram:
         return self._get(name, Histogram)
+
+    def register(self, name: str, kind: str):
+        """Strictly create a metric; duplicates are an error.
+
+        Unlike the get-or-create accessors (which let components share
+        a series on purpose), ``register`` is for callers that *own* a
+        name — an SLO spec, a health series — where silently aliasing
+        an existing metric would mean two meanings for one name.  The
+        error lists what is already registered, the same convention
+        topology descriptors use.
+        """
+        cls = {"counter": Counter, "gauge": Gauge,
+               "histogram": Histogram}.get(kind)
+        if cls is None:
+            raise ValueError(
+                f"unknown metric kind {kind!r}; choose from counter, "
+                f"gauge, histogram")
+        if name in self._metrics:
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{self._metrics[name].kind}; registered names: "
+                f"{', '.join(sorted(self._metrics))}")
+        metric = cls(name)
+        self._metrics[name] = metric
+        return metric
+
+    def lookup(self, name: str):
+        """The metric under ``name``; unknown names list the registry.
+
+        The strict sibling of :meth:`get` (which returns None): SLO
+        objectives and health series resolve their metric names through
+        this so a typo'd spec fails with the full inventory instead of
+        producing an empty series.
+        """
+        metric = self._metrics.get(name)
+        if metric is None:
+            known = ", ".join(sorted(self._metrics)) or "(none)"
+            raise KeyError(
+                f"unknown metric {name!r}; registered: {known}")
+        return metric
 
     def get(self, name: str):
         """The metric registered under ``name``, or None."""

@@ -62,6 +62,8 @@ class TimelineSampler:
             value = fn()
             registry.gauge(name).set(value, time=now)
             telemetry.counter_sample(name, now, value)
+        for ticker in telemetry._tickers:
+            ticker(now)
         self.samples_taken += 1
 
     def _loop(self) -> Generator:

@@ -29,7 +29,8 @@ from typing import Any, Callable, Dict, Optional
 from .. import params
 from ..fabric import Channel, Packet, PacketKind
 from ..infra import ClusterSpec, build_cluster
-from ..pcie.credits import CreditDomain, RampUpPolicy
+from ..pcie.credits import (CreditDomain, RampUpPolicy,
+                            StaticEqualPolicy)
 from ..sim import Environment, run_proc
 from ..topo import compile_topology, load_shape
 from .attribution import build_report
@@ -37,8 +38,9 @@ from .causal import SERIALIZATION, CausalRecorder
 from .core import Telemetry, span
 from .sampler import DEFAULT_INTERVAL_NS, TimelineSampler
 
-__all__ = ["ScenarioResult", "TELEMETRY_SCENARIOS", "run_scenario",
-           "run_scenario_build", "scenario_names"]
+__all__ = ["ScenarioResult", "TELEMETRY_SCENARIOS",
+           "STARVATION_POLICIES", "run_scenario",
+           "run_scenario_build", "scenario_names", "starvation_build"]
 
 
 @dataclasses.dataclass
@@ -132,8 +134,35 @@ _WINDOW = 8
 _BURST_FLITS = 64
 
 
-def _build_starvation(env: Environment) -> Dict[str, Any]:
-    domain = CreditDomain(env, budget=32, policy=RampUpPolicy(),
+#: Credit policies `repro health --policy` can swap into the
+#: starvation scenario: the pathological default vs the fair control.
+STARVATION_POLICIES: Dict[str, Callable[[], Any]] = {
+    "rampup": RampUpPolicy,
+    "fair": StaticEqualPolicy,
+}
+
+
+def starvation_build(policy: str = "rampup"
+                     ) -> Callable[[Environment], Dict[str, Any]]:
+    """The starvation builder with its credit policy swapped.
+
+    ``rampup`` is the registered scenario (byte-identical to the
+    default build); ``fair`` is the control the health SLO must stay
+    quiet on — StaticEqualPolicy grants each flow budget/flows = 16
+    credits, enough for the 8-worker window, so the quiet burst never
+    stalls.
+    """
+    if policy not in STARVATION_POLICIES:
+        raise ValueError(
+            f"unknown starvation policy {policy!r}; choose from "
+            f"{', '.join(sorted(STARVATION_POLICIES))}")
+    return lambda env: _build_starvation(env, policy=policy)
+
+
+def _build_starvation(env: Environment,
+                      policy: str = "rampup") -> Dict[str, Any]:
+    domain = CreditDomain(env, budget=32,
+                          policy=STARVATION_POLICIES[policy](),
                           rebalance_ns=2_000.0, name="egress0")
     domain.register("hot")
     domain.register("quiet")

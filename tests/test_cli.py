@@ -95,6 +95,58 @@ class TestMetricsCli:
         assert "unknown scenario" in capsys.readouterr().err
 
 
+class TestHealthCli:
+    def test_health_json_is_schema_valid(self, capsys):
+        from repro.telemetry import validate_health_report
+        assert main(["health", "--scenario", "starvation",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["tool"] == "repro-health"
+        assert validate_health_report(payload) >= 2
+        episodes = payload["slos"][0]["alerts"][0]["episodes"]
+        assert episodes[0]["fired_at"] == 14_000.0
+
+    def test_health_human_output_names_the_alert(self, capsys):
+        assert main(["health", "--scenario", "starvation"]) == 0
+        out = capsys.readouterr().out
+        assert "health[starvation]" in out
+        assert "FIRED at 14,000.0 ns" in out
+        assert "anomaly stall_spike" in out
+
+    def test_health_fair_policy_quiet(self, capsys):
+        assert main(["health", "--scenario", "starvation",
+                     "--policy", "fair"]) == 0
+        out = capsys.readouterr().out
+        assert "quiet" in out and "FIRED" not in out
+
+    def test_health_writes_selfcontained_dashboard(self, tmp_path,
+                                                   capsys):
+        out_file = tmp_path / "health.html"
+        assert main(["health", "--scenario", "starvation",
+                     "--html", str(out_file)]) == 0
+        page = out_file.read_text()
+        assert page.startswith("<!DOCTYPE html>")
+        assert "http" not in page
+
+    def test_health_custom_slo_spec(self, tmp_path, capsys):
+        spec = tmp_path / "slo.json"
+        spec.write_text(json.dumps({"slos": [], "anomaly": []}))
+        assert main(["health", "--scenario", "t2",
+                     "--slo", str(spec), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["slos"] == []
+
+    def test_health_bad_inputs_exit_two(self, capsys):
+        assert main(["health", "--scenario", "nope"]) == 2
+        assert "unknown" in capsys.readouterr().err
+        assert main(["health", "--scenario", "starvation",
+                     "--window", "1500"]) == 2
+        assert "multiple" in capsys.readouterr().err
+        assert main(["health", "--scenario", "t2",
+                     "--policy", "fair"]) == 2
+        assert "starvation" in capsys.readouterr().err
+
+
 class TestListCli:
     def test_list_prints_catalog(self, capsys):
         assert main(["list"]) == 0

@@ -103,6 +103,99 @@ class TestHistogram:
             hist.quantile(1.5)
 
 
+class TestStrictRegistration:
+    def test_register_rejects_duplicates_with_listing(self):
+        registry = MetricRegistry()
+        registry.register("link.l0.flits", "counter")
+        registry.counter("pcie.sw0.drops")
+        with pytest.raises(ValueError) as exc:
+            registry.register("link.l0.flits", "gauge")
+        # The error carries the full inventory, like topology errors.
+        assert "link.l0.flits" in str(exc.value)
+        assert "pcie.sw0.drops" in str(exc.value)
+
+    def test_register_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown metric kind"):
+            MetricRegistry().register("x", "timer")
+
+    def test_register_returns_the_metric(self):
+        registry = MetricRegistry()
+        counter = registry.register("c", "counter")
+        assert counter is registry.counter("c")
+        assert isinstance(registry.register("h", "histogram"),
+                          Histogram)
+        assert isinstance(registry.register("g", "gauge"), Gauge)
+
+    def test_lookup_unknown_name_lists_registry(self):
+        registry = MetricRegistry()
+        registry.counter("a.one")
+        registry.gauge("b.two")
+        with pytest.raises(KeyError) as exc:
+            registry.lookup("a.oen")
+        message = str(exc.value)
+        assert "a.one" in message and "b.two" in message
+        assert registry.lookup("a.one") is registry.counter("a.one")
+
+    def test_lookup_empty_registry_says_none(self):
+        with pytest.raises(KeyError, match=r"\(none\)"):
+            MetricRegistry().lookup("anything")
+
+    def test_duplicate_probe_rejected_with_listing(self):
+        telemetry = Telemetry()
+        telemetry.add_probe("credits.d0.available", lambda: 1.0)
+        telemetry.add_probe("credits.d0.granted", lambda: 2.0)
+        with pytest.raises(ValueError) as exc:
+            telemetry.add_probe("credits.d0.available", lambda: 3.0)
+        assert "credits.d0.granted" in str(exc.value)
+
+
+class TestHistogramSnapshotDelta:
+    def test_none_prev_is_full_cumulative_state(self):
+        hist = Histogram("lat")
+        for value in (1, 3, 1000):
+            hist.observe(value)
+        delta = hist.snapshot_delta(None)
+        assert delta["count"] == 3
+        assert delta["sum"] == 1004.0
+        assert delta["buckets"] == hist.to_dict()["buckets"]
+
+    def test_empty_window_reports_absent_values(self):
+        hist = Histogram("lat")
+        hist.observe(5)
+        prev = hist.to_dict()
+        delta = hist.snapshot_delta(prev)   # nothing new since prev
+        assert delta["count"] == 0
+        assert delta["sum"] == 0.0
+        assert delta["mean"] is None
+        assert delta["p50"] is None and delta["p99"] is None
+        assert delta["buckets"] == []
+
+    def test_partial_window_quantiles_are_of_the_window(self):
+        hist = Histogram("lat")
+        for _ in range(100):
+            hist.observe(1)            # cumulative p50 lives at 2.0
+        prev = hist.to_dict()
+        for _ in range(10):
+            hist.observe(1000)         # the window is all-slow
+        delta = hist.snapshot_delta(prev)
+        assert delta["count"] == 10
+        assert delta["p50"] == 1024.0   # window quantile, not cumulative
+        assert hist.quantile(0.50) == 2.0
+        assert delta["buckets"] == [
+            {"low": 512.0, "high": 1024.0, "count": 10}]
+        assert delta["mean"] == pytest.approx(1000.0)
+
+    def test_newer_snapshot_rejected(self):
+        hist = Histogram("lat")
+        hist.observe(1)
+        hist.observe(2)
+        newer = hist.to_dict()
+        fresh = Histogram("lat")
+        fresh.observe(1)
+        with pytest.raises(ValueError, match="newer"):
+            fresh.snapshot_delta(newer)
+
+
 class TestEnvironmentHook:
     def test_off_by_default(self):
         assert Environment().telemetry is None
