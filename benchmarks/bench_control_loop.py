@@ -1,0 +1,65 @@
+"""Experiment control_loop: closed-loop credit feedback vs static.
+
+Paper (ROADMAP closed-loop control plane; DFabric/Cohet in PAPERS.md):
+a fabric OS must adapt allocation to observed contention.  The A/B
+pins the recovery timeline end to end: the same fast-burn alert that
+fires at 14,000 ns under static RampUpPolicy also trips the default
+feedback rule, whose credit reallocation lands at exactly that window
+edge — after which the quiet route's windowed credit_stall share
+drops versus the static run while the hot route still never stalls.
+
+The builder lives in :mod:`repro.experiments.defs.control`
+(experiment ``control_loop``); this script is its benchmark/CLI
+wrapper.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict
+
+from repro.experiments import render, run_summary
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from _common import memoize
+
+#: The golden-pinned actuation edge: the window whose close fires the
+#: fast-burn alert is the window whose close applies the rescue.
+ACTION_LANDS_AT_NS = 14_000.0
+
+
+@memoize
+def collect() -> Dict[str, dict]:
+    return run_summary("control_loop")
+
+
+def test_rescue_lands_on_the_alert_edge(benchmark):
+    summary = benchmark.pedantic(collect, rounds=1, iterations=1)
+    closed = summary["cases"]["closed-loop"]
+    assert closed["fired_at"] == [ACTION_LANDS_AT_NS]
+    assert [a["t"] for a in closed["actions"]] == [ACTION_LANDS_AT_NS]
+    assert closed["actions"][0]["granted_after"] == {"hot": 16,
+                                                     "quiet": 16}
+    benchmark.extra_info["action_ns"] = closed["actions"][0]["t"]
+
+
+def test_feedback_beats_static_without_starving_hot(benchmark):
+    summary = benchmark.pedantic(collect, rounds=1, iterations=1)
+    static = summary["cases"]["static"]
+    closed = summary["cases"]["closed-loop"]
+    assert static["actions"] == []
+    assert max(closed["post_alert_share"]) \
+        < max(static["post_alert_share"])
+    assert closed["quiet_burst_ns"] < static["quiet_burst_ns"]
+    assert closed["hot_stall_ns"] == 0.0
+    benchmark.extra_info["post_alert_share"] = {
+        "static": max(static["post_alert_share"]),
+        "closed": max(closed["post_alert_share"])}
+
+
+def main() -> None:
+    render("control_loop", summary=collect())
+
+
+if __name__ == "__main__":
+    main()

@@ -278,11 +278,21 @@ def cmd_health(args: argparse.Namespace) -> int:
                                    validate_health_report)
     try:
         spec = SloSpec.load(args.slo) if args.slo else None
+        feedback = None
+        if args.feedback:
+            from .control import FeedbackPolicy, default_feedback_policy
+            if args.feedback == "default":
+                feedback = FeedbackPolicy(
+                    default_feedback_policy(args.scenario),
+                    source="default")
+            else:
+                feedback = FeedbackPolicy.load(args.feedback)
         result, report = run_health(args.scenario, policy=args.policy,
                                     window_ns=args.window,
                                     interval_ns=args.interval,
                                     spec=spec,
-                                    causal_sample=args.sample)
+                                    causal_sample=args.sample,
+                                    feedback=feedback)
         validate_health_report(report)
     except (HealthError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -320,6 +330,17 @@ def cmd_health(args: argparse.Namespace) -> int:
                   f"point(s) at {at} ns")
         else:
             print(f"\nanomaly {rule['name']}: none")
+    control = report.get("control")
+    if control is not None:
+        actuators = ", ".join(a["actuator"]
+                              for a in control["actuators"]) or "(none)"
+        print(f"\ncontrol: {len(control['actions'])} action(s), "
+              f"actuators: {actuators}")
+        for action in control["actions"]:
+            print(f"  {action['t']:>10,.1f} ns  rule "
+                  f"{action['rule']}: {action['actuator']} <- "
+                  f"{json.dumps(action['set'], sort_keys=True)} "
+                  f"(observed {action['observed']:g})")
     print(f"\nsummary: {json.dumps(result.summary)}")
     return 0
 
@@ -698,7 +719,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                           "(schema-stable)")
     health = sub.add_parser(
         "health", help="streaming windowed telemetry, SLO burn-rate "
-                       "alerts, anomaly detection")
+                       "alerts, anomaly detection, optional "
+                       "closed-loop feedback",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="exit codes:\n"
+               "  0  report built and validated (alerts firing is "
+               "data, not failure)\n"
+               "  2  bad input (unknown scenario/policy, malformed "
+               "--slo or --feedback spec,\n"
+               "     window/interval mismatch)")
     health.add_argument("--scenario", required=True, help=scenario_help)
     health.add_argument("--policy", default="rampup",
                         choices=["rampup", "fair"],
@@ -719,6 +748,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     health.add_argument("--slo", metavar="SPEC.json", default=None,
                         help="SLO spec file; default: the scenario's "
                              "built-in spec")
+    health.add_argument("--feedback", metavar="POLICY.json",
+                        default=None,
+                        help="close the loop: run a feedback policy "
+                             "whose rules actuate credits at window "
+                             "edges; 'default' uses the scenario's "
+                             "built-in rescue policy")
     health.add_argument("--html", metavar="OUT.html", default=None,
                         help="also write a self-contained static HTML "
                              "dashboard")

@@ -1,0 +1,46 @@
+"""Closed-loop control plane: health-driven, validated actuation.
+
+The observe→decide→act loop over a running fabric simulation:
+
+* **observe** — :class:`~repro.telemetry.health.HealthMonitor` closes
+  tumbling sim-time windows of counters, gauges and per-route latency
+  attribution (PR 9's streaming layer);
+* **decide** — a declarative :class:`FeedbackPolicy` (JSON rules:
+  *when* a windowed signal crosses a threshold, *then* apply settings
+  to an actuator);
+* **act** — the :class:`ControlPlane` applies validated settings
+  through uniform :class:`Actuator`\\ s wrapping the paper's
+  mechanisms: credit QoS (:class:`CreditActuator`), link credit
+  allocation (:class:`LinkActuator`), heap placement
+  (:class:`HeapActuator`) and movement pacing
+  (:class:`MovementActuator`), each action stamped with the window's
+  closing sim time and logged.
+
+Everything stays deterministic: actions apply at window-close edges
+inside the sampler tick, so closed-loop runs are bit-identical across
+reruns and sweep worker counts, and a plane with no policy leaves
+``events_processed`` untouched.
+"""
+
+from __future__ import annotations
+
+from .actuator import Actuator, ControlError, Knob
+from .actuators import (CreditActuator, HeapActuator, LinkActuator,
+                        MovementActuator)
+from .plane import ControlPlane
+from .policy import (FeedbackPolicy, FeedbackRule,
+                     default_feedback_policy)
+
+__all__ = [
+    "Actuator",
+    "ControlError",
+    "ControlPlane",
+    "CreditActuator",
+    "FeedbackPolicy",
+    "FeedbackRule",
+    "HeapActuator",
+    "Knob",
+    "LinkActuator",
+    "MovementActuator",
+    "default_feedback_policy",
+]

@@ -39,6 +39,11 @@ class MigrationAgent:
         self._queue = PriorityStore(env)
         self._seq = itertools.count()
         self.executed = 0
+        #: Per-transaction pacing delay (ns) inserted before service;
+        #: 0.0 (the default) yields no timeout at all, so an unpaced
+        #: agent schedules exactly the events it always did.  Set via
+        #: :meth:`MovementOrchestrator.set_pacing` (the actuator path).
+        self.pacing_ns = 0.0
         tel = env.telemetry
         self._causal = tel.causal if tel is not None else None
         if self._causal is not None:
@@ -62,6 +67,8 @@ class MigrationAgent:
     def _worker(self) -> Generator[Event, None, None]:
         while True:
             _, _, trans, handle = yield self._queue.get()
+            if self.pacing_ns > 0.0:
+                yield self.env.timeout(self.pacing_ns)
             if self._causal is not None:
                 open_span = trans.attributes.pop("_cspan", None)
                 if open_span is not None:
@@ -83,6 +90,7 @@ class MovementOrchestrator:
         self.env = env
         self.remote_bw_bytes_per_us = remote_bw_bytes_per_us
         self.burst_bytes = burst_bytes
+        self.pacing_ns = 0.0
         self._agents: Dict[str, MigrationAgent] = {}
         self._engines: Dict[str, ElasticTransactionEngine] = {}
         self._buckets: Dict[str, Container] = {}
@@ -105,6 +113,7 @@ class MovementOrchestrator:
         self._engines[host.name] = engine
         agent = MigrationAgent(
             self.env, engine, name=f"{host.name}.agent")
+        agent.pacing_ns = self.pacing_ns
         self._agents[host.name] = agent
         if self._tel is not None:
             self._tel.add_probe(f"movement.{host.name}.agent_backlog",
@@ -154,11 +163,45 @@ class MovementOrchestrator:
         except KeyError:
             return "unmapped"
 
+    def set_pacing(self, pacing_ns: float) -> None:
+        """Fan a per-transaction pacing delay out to every agent.
+
+        The closed-loop throttle: a feedback rule that sees movement
+        saturating a window's link budget slows the agents instead of
+        rejecting work.  ``0.0`` removes the pacing (and with it any
+        extra timeout events).
+        """
+        if pacing_ns < 0:
+            raise ValueError(f"pacing_ns must be >= 0, got {pacing_ns}")
+        self.pacing_ns = pacing_ns
+        for agent in self._agents.values():
+            agent.pacing_ns = pacing_ns
+
+    def set_remote_bw(self, bytes_per_us: float) -> None:
+        """Retune the token-bucket refill rate on a throttled service.
+
+        Only valid when the orchestrator was constructed with a
+        bandwidth budget (buckets exist per attached host); the refill
+        loops re-read the rate each quantum, so the new rate takes
+        effect at the next 100 ns refill tick.
+        """
+        if bytes_per_us <= 0:
+            raise ValueError(
+                f"bytes_per_us must be > 0, got {bytes_per_us}")
+        if not self._buckets:
+            raise ValueError(
+                "orchestrator has no bandwidth buckets to retune; "
+                "construct it with remote_bw_bytes_per_us= to throttle")
+        self.remote_bw_bytes_per_us = bytes_per_us
+
     def _refill(self, bucket: Container) -> Generator[Event, None, None]:
         quantum_ns = 100.0
-        per_quantum = self.remote_bw_bytes_per_us * quantum_ns / 1000.0
         while True:
             yield self.env.timeout(quantum_ns)
+            # Re-read the rate each quantum so set_remote_bw() acts at
+            # the next tick rather than whatever rate start-up saw.
+            per_quantum = self.remote_bw_bytes_per_us \
+                * quantum_ns / 1000.0
             space = bucket.capacity - bucket.level
             if space > 0:
                 yield bucket.put(min(per_quantum, space))

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from . import (cfc, fabric, health, memory, mimo, movement, scenarios,
-               tables, topo)
+from . import (cfc, control, fabric, health, memory, mimo, movement,
+               scenarios, tables, topo)
 
-__all__ = ["cfc", "fabric", "health", "memory", "mimo", "movement",
-           "scenarios", "tables", "topo"]
+__all__ = ["cfc", "control", "fabric", "health", "memory", "mimo",
+           "movement", "scenarios", "tables", "topo"]

@@ -1,0 +1,102 @@
+"""The closed-loop A/B experiment: static credits vs feedback rescue.
+
+``control_loop`` runs the starvation scenario twice under the health
+monitor: once with the static pathological ``RampUpPolicy`` (the §3 C5
+baseline the ``fabric_health`` experiment pins), and once with the
+same policy *plus* the default feedback policy — the control plane
+watches windowed ``credit_stall`` attribution and, the moment the
+quiet route's share breaches the rule threshold (the same window whose
+close fires the fast-burn alert at 14,000 ns), installs equal
+hot/quiet credit weights on the egress domain.
+
+The golden-pinned recovery timeline is the contrast the ROADMAP's
+closed-loop item asks for: the action lands exactly at the alert edge,
+the quiet route's post-alert stall share drops versus the static run,
+the burst finishes faster, and the hot route still never stalls (the
+rescue does not starve it in turn).  Both runs are deterministic, so
+the whole summary — action log included — is reproducible bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from ...telemetry.health import DEFAULT_WINDOW_NS, run_health
+from ...telemetry.sampler import DEFAULT_INTERVAL_NS
+from ..format import print_table
+from ..registry import ExperimentError, Param, experiment
+
+
+def _case(window_ns: float, interval_ns: float,
+          feedback: bool) -> Dict[str, Any]:
+    policy = None
+    if feedback:
+        from ...control import FeedbackPolicy, default_feedback_policy
+        policy = FeedbackPolicy(default_feedback_policy("starvation"),
+                                source="default")
+    result, report = run_health("starvation", window_ns=window_ns,
+                                interval_ns=interval_ns,
+                                feedback=policy)
+    fired = [episode["fired_at"] for slo in report["slos"]
+             for alert in slo["alerts"]
+             for episode in alert["episodes"]]
+    quiet = report["attribution"]["routes"]["quiet"]
+    shares = quiet["share"]["credit_stall"]
+    post_alert = [share for t1, share
+                  in zip((w["t1"] for w in report["windows"]), shares)
+                  if fired and t1 > fired[0]]
+    actions = [{"t": action["t"], "rule": action["rule"],
+                "actuator": action["actuator"],
+                "granted_after": action["after"]["granted"]}
+               for action in report["control"]["actions"]] \
+        if "control" in report else []
+    return {"fired_at": fired,
+            "actions": actions,
+            "quiet_stall_share": shares,
+            "post_alert_share": post_alert,
+            "quiet_stall_ns": result.summary["quiet_stall_ns"],
+            "quiet_burst_ns": result.summary["quiet_burst_ns"],
+            "hot_stall_ns": result.summary["hot_stall_ns"],
+            "final_grants": result.summary["final_grants"],
+            "events_processed": result.env.stats["events_processed"]}
+
+
+def render_control_loop(summary: Dict[str, Any],
+                        _params: Dict[str, Any]) -> None:
+    rows = []
+    for case, data in summary["cases"].items():
+        fired = data["fired_at"][0] if data["fired_at"] else "-"
+        post = max(data["post_alert_share"], default=0.0)
+        rows.append([case, fired, len(data["actions"]),
+                     round(post, 4), data["quiet_burst_ns"],
+                     data["hot_stall_ns"],
+                     "/".join(str(v) for v in
+                              data["final_grants"].values())])
+    print_table(
+        f"closed loop vs static credits: starvation in "
+        f"{summary['window_ns']:,.0f} ns windows",
+        ["case", "alert ns", "actions", "post-alert stall share",
+         "burst ns", "hot stall ns", "grants hot/quiet"], rows)
+
+
+@experiment(
+    "control_loop",
+    "A/B: health-driven credit feedback vs static RampUpPolicy",
+    params={"window_ns": Param(float, DEFAULT_WINDOW_NS,
+                               "tumbling window width (sim ns)"),
+            "interval_ns": Param(float, DEFAULT_INTERVAL_NS,
+                                 "sampler cadence (sim ns)")},
+    render=render_control_loop)
+def run_control_loop(ctx) -> Dict[str, Any]:
+    from ...control import ControlError
+    from ...telemetry.health import HealthError
+    cases = {}
+    try:
+        cases["static"] = _case(ctx.window_ns, ctx.interval_ns,
+                                feedback=False)
+        cases["closed-loop"] = _case(ctx.window_ns, ctx.interval_ns,
+                                     feedback=True)
+    except (ControlError, HealthError, ValueError) as exc:
+        raise ExperimentError(str(exc)) from None
+    return {"scenario": "starvation", "window_ns": ctx.window_ns,
+            "cases": cases}

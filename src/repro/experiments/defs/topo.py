@@ -14,6 +14,15 @@ Because the fabric comes from a descriptor, the ``topology`` parameter
 is a sweep axis: any committed shape or generator call
 (``fat_tree:pods=2,leaves=3``) with at least two hosts and two devices
 reproduces the table at its own scale.
+
+The ``feedback`` knob adds a fourth, closed-loop case: the FIFO fabric
+runs under the health monitor, and a
+:class:`~repro.control.ControlPlane` rule watches the inter-pod link's
+bulk-VC credit gauge — the moment a window closes with the pool pinned
+at zero, a :class:`~repro.control.LinkActuator` revokes the flood
+host's injection credits down to a trickle (the fabric-manager
+admission-control move), containing the starvation without touching
+the victim's path.
 """
 
 from __future__ import annotations
@@ -36,6 +45,12 @@ from ..registry import ExperimentError, Param, experiment
 _SLOW_DEVICE_NS = 500.0
 _FAST_DEVICE_NS = 10.0
 _FLOOD_WORKERS = 8
+
+# The closed-loop case: 1,000 ns health windows sampled every 500 ns;
+# the rescue revokes the flood's edge-link credits down to this many.
+_FEEDBACK_WINDOW_NS = 1_000.0
+_FEEDBACK_INTERVAL_NS = 500.0
+_RESCUE_GRANTED = 2
 
 
 def _pick_endpoints(descriptor: TopologyDescriptor) \
@@ -71,14 +86,91 @@ def _pick_endpoints(descriptor: TopologyDescriptor) \
             hot_dev.name)
 
 
+def _interpod_exit(descriptor: TopologyDescriptor,
+                   from_pod: str) -> str:
+    """The inter-pod link name in the direction leaving ``from_pod``."""
+    def pod_of_switch(name: str) -> str:
+        for pod in descriptor.pods:
+            if any(s.name == name for s in pod.switches):
+                return pod.name
+        raise ExperimentError(
+            f"topology {descriptor.name!r} has no switch {name!r}")
+
+    for link in descriptor.interpod:
+        if pod_of_switch(link.a) == from_pod:
+            return f"{link.a}->{link.b}"
+        if pod_of_switch(link.b) == from_pod:
+            return f"{link.b}->{link.a}"
+    raise ExperimentError(
+        f"topology {descriptor.name!r} has no inter-pod link leaving "
+        f"pod {from_pod!r}; the feedback case needs one")
+
+
+def xswitch_rescue_policy(descriptor: TopologyDescriptor):
+    """The built-in closed-loop rescue for ``feedback=default``.
+
+    Bulk CXL.io traffic rides VC 1 (the flood's channel — victim
+    CXL.mem reads ride VC 0), so the trigger is the flood-direction
+    inter-pod link's vc1 credit gauge pinned at zero at window close,
+    and the action quenches the *aggressor*: revoke the flood host's
+    edge-link vc1 credits down to a trickle.
+    """
+    from ...control import FeedbackPolicy
+    _, flood_host, _, _ = _pick_endpoints(descriptor)
+    flood_pod = descriptor.pod_of_endpoint(flood_host).name
+    exit_link = _interpod_exit(descriptor, flood_pod)
+    return FeedbackPolicy({
+        "schema": 1,
+        "rules": [
+            {"name": "quench-flood",
+             "when": {"kind": "gauge_level",
+                      "gauge": f"link.{exit_link}.vc1.credits",
+                      "below": 0.5},
+             "then": {"actuator": "link.injection",
+                      "set": {"granted": _RESCUE_GRANTED}},
+             "max_firings": 1},
+        ]}, source="builtin:xswitch-rescue")
+
+
 def run_xswitch_case(descriptor: TopologyDescriptor, scheduler: str,
                      with_flood: bool, victim_reads: int,
-                     flood_writes: int) -> StatSeries:
-    env = Environment()
+                     flood_writes: int,
+                     feedback: Any = None) -> Tuple[StatSeries, Any]:
+    """One case; returns (victim latency series, control plane or None).
+
+    With ``feedback`` (a FeedbackPolicy) the run carries telemetry, a
+    sampler, and a health monitor; a LinkActuator named
+    ``link.injection`` wraps the flood host's edge link so rules can
+    throttle the aggressor at its injection port.  Telemetry does not
+    change model timings (pinned bit-identity), so the case's latency
+    stats stay comparable with the bare runs.
+    """
+    plane = None
+    monitor = None
+    if feedback is not None:
+        from ...control import ControlPlane, LinkActuator
+        from ...telemetry.causal import CausalRecorder
+        from ...telemetry.core import Telemetry
+        from ...telemetry.health import HealthMonitor
+        from ...telemetry.sampler import TimelineSampler
+        env = Environment(
+            telemetry=Telemetry(causal=CausalRecorder(sample=1)))
+        TimelineSampler(env,
+                        interval_ns=_FEEDBACK_INTERVAL_NS).start()
+        monitor = HealthMonitor(env.telemetry, "xswitch",
+                                window_ns=_FEEDBACK_WINDOW_NS)
+        plane = ControlPlane(feedback)
+    else:
+        env = Environment()
     case_desc = dataclasses.replace(descriptor, scheduler=scheduler)
     topo = compile_topology(case_desc, env).topology
     victim_host, flood_host, victim_dev, hot_dev = \
         _pick_endpoints(descriptor)
+    if plane is not None:
+        plane.add_actuator(LinkActuator(
+            topo.port_of(flood_host).tx_link, vc=1,
+            name="link.injection"))
+        plane.attach(monitor)
 
     def slow_handler(request):
         yield env.timeout(_SLOW_DEVICE_NS)   # the congestion source
@@ -123,7 +215,9 @@ def run_xswitch_case(descriptor: TopologyDescriptor, scheduler: str,
         for _ in range(_FLOOD_WORKERS):
             env.process(flood_worker(flood_writes // _FLOOD_WORKERS))
     run_proc(env, victim())
-    return stats
+    if monitor is not None:
+        monitor.finalize(env.now)
+    return stats, plane
 
 
 def render_xswitch_starvation(summary: Dict[str, Any],
@@ -149,7 +243,10 @@ def render_xswitch_starvation(summary: Dict[str, Any],
                               "(e.g. 'fat_tree:pods=2,leaves=3')"),
             "victim_reads": Param(int, 40, "victim-flow reads"),
             "flood_writes": Param(int, 600,
-                                  "flood writes at the hot device")},
+                                  "flood writes at the hot device"),
+            "feedback": Param(str, "off",
+                              "closed-loop rescue case: off, default, "
+                              "or a feedback-policy JSON path")},
     render=render_xswitch_starvation)
 def run_xswitch_starvation(ctx) -> Dict[str, Any]:
     try:
@@ -165,12 +262,31 @@ def run_xswitch_starvation(ctx) -> Dict[str, Any]:
             ("fifo quiet", "fifo", False),
             ("fifo congested", "fifo", True),
             ("fair congested", "fair", True)):
-        stats = run_xswitch_case(descriptor, scheduler, with_flood,
-                                 ctx.victim_reads, ctx.flood_writes)
+        stats, _ = run_xswitch_case(descriptor, scheduler, with_flood,
+                                    ctx.victim_reads,
+                                    ctx.flood_writes)
         cases[case] = {"mean_ns": stats.mean, "p99_ns": stats.p99}
-    return {"topology": descriptor.name,
-            "endpoints": {"victim_host": victim_host,
-                          "flood_host": flood_host,
-                          "victim_dev": victim_dev,
-                          "hot_dev": hot_dev},
-            "cases": cases}
+    summary: Dict[str, Any] = {
+        "topology": descriptor.name,
+        "endpoints": {"victim_host": victim_host,
+                      "flood_host": flood_host,
+                      "victim_dev": victim_dev,
+                      "hot_dev": hot_dev},
+        "cases": cases}
+    if ctx.feedback != "off":
+        from ...control import ControlError, FeedbackPolicy
+        try:
+            if ctx.feedback == "default":
+                policy = xswitch_rescue_policy(descriptor)
+            else:
+                policy = FeedbackPolicy.load(ctx.feedback)
+            stats, plane = run_xswitch_case(
+                descriptor, "fifo", True, ctx.victim_reads,
+                ctx.flood_writes, feedback=policy)
+        except ControlError as exc:
+            raise ExperimentError(str(exc)) from None
+        cases["fifo rescue"] = {"mean_ns": stats.mean,
+                                "p99_ns": stats.p99}
+        summary["feedback"] = {"policy_source": policy.source,
+                               "actions": plane.actions}
+    return summary

@@ -13,6 +13,16 @@ pluggable :class:`CreditPolicy`:
 * :class:`ReservationPolicy` — the DP#4 arbiter's scheme: flows hold
   explicit reservations (guaranteed minimum), and the slack is divided
   equally; rebalance is immediate on reserve/reclaim, not periodic.
+* :class:`WeightedSharePolicy` — fixed proportional shares by per-flow
+  weight; the shape the closed-loop control plane installs when a
+  health window shows a flow starving (see :mod:`repro.control`).
+
+The domain is also a *runtime-reconfigurable* surface:
+:meth:`CreditDomain.set_policy` swaps the policy mid-run and applies
+its targets immediately (without resetting the demand counters the
+periodic rebalancer reads), and :meth:`CreditDomain.set_rebalance_ns`
+retunes the rebalance cadence — both are what
+:class:`repro.control.CreditActuator` drives.
 """
 
 from __future__ import annotations
@@ -24,7 +34,8 @@ from ..sim import Container, Environment, Event, Tracer
 from ..telemetry.causal import CREDIT_STALL
 
 __all__ = ["CreditDomain", "CreditPolicy", "RampUpPolicy",
-           "StaticEqualPolicy", "ReservationPolicy"]
+           "StaticEqualPolicy", "ReservationPolicy",
+           "WeightedSharePolicy"]
 
 
 class CreditPolicy:
@@ -121,6 +132,49 @@ class ReservationPolicy(CreditPolicy):
                 bump = extra + (1 if unreserved.index(name) < remainder else 0)
                 targets[name] = self.floor + bump
         return targets
+
+
+class WeightedSharePolicy(CreditPolicy):
+    """Fixed proportional shares by explicit per-flow weight.
+
+    The budget is apportioned by largest remainder, so integer grants
+    sum to the budget exactly regardless of float weights; flows the
+    weight map does not name get weight zero (they keep only the
+    floor).  This is the target shape a feedback rule installs: equal
+    weights for hot and quiet undo RampUpPolicy's compounding without
+    hand-picking credit counts.
+    """
+
+    def __init__(self, weights: Dict[str, float]) -> None:
+        if not weights:
+            raise ValueError("weights must name at least one flow")
+        for flow, weight in weights.items():
+            if not isinstance(weight, (int, float)) \
+                    or isinstance(weight, bool) or weight <= 0:
+                raise ValueError(
+                    f"weight for flow {flow!r} must be a number > 0, "
+                    f"got {weight!r}")
+        self.weights = {flow: float(weight)
+                        for flow, weight in weights.items()}
+
+    def targets(self, domain: "CreditDomain") -> Dict[str, int]:
+        flows = domain.flow_names()
+        if not flows:
+            return {}
+        weights = {name: self.weights.get(name, 0.0) for name in flows}
+        total = sum(weights.values())
+        if total <= 0:
+            return StaticEqualPolicy().targets(domain)
+        exact = {name: domain.budget * weights[name] / total
+                 for name in flows}
+        targets = {name: int(exact[name]) for name in flows}
+        leftover = domain.budget - sum(targets.values())
+        order = sorted(range(len(flows)),
+                       key=lambda i: (-(exact[flows[i]]
+                                        - targets[flows[i]]), i))
+        for i in order[:leftover]:
+            targets[flows[i]] += 1
+        return {name: max(self.floor, targets[name]) for name in flows}
 
 
 class CreditDomain:
@@ -281,6 +335,34 @@ class CreditDomain:
             self._running = True
             self.env.process(self._rebalancer(), name=f"{self.name}.rebal",
                              daemon=True)
+
+    def set_policy(self, policy: CreditPolicy) -> None:
+        """Swap the allocation policy mid-run and apply it immediately.
+
+        Unlike :meth:`rebalance_now` the per-flow consumed counters
+        survive: the in-progress rebalance period's demand
+        observations still reach the next periodic pass, so a runtime
+        policy swap never erases evidence the old policy gathered.
+        Blocked acquires are served the instant a grown pool is
+        refilled (same sim time, deterministic order).
+        """
+        self.policy = policy
+        self._apply_targets(policy.targets(self))
+        if self._tel is not None:
+            self._tel.instant("cfc.set_policy", track=self._track,
+                              policy=type(policy).__name__,
+                              grants=dict(self._granted))
+        if self._san is not None:
+            self._san.check_credit_domain(self)
+
+    def set_rebalance_ns(self, rebalance_ns: float) -> None:
+        """Retune the rebalance cadence; the running loop picks the
+        new period up at its next wakeup (it re-reads the attribute).
+        """
+        if rebalance_ns <= 0:
+            raise ValueError(
+                f"rebalance_ns must be > 0, got {rebalance_ns}")
+        self.rebalance_ns = rebalance_ns
 
     def rebalance_now(self) -> None:
         """Apply policy targets immediately (the arbiter path)."""

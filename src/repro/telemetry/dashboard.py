@@ -100,6 +100,9 @@ details summary { cursor: pointer; color: var(--ink-2); }
           stroke-dasharray: 4 3; }
 .episode { fill: var(--critical); fill-opacity: 0.12; }
 .anom { fill: none; stroke: var(--critical); stroke-width: 2; }
+.action-mark { stroke: var(--good); stroke-width: 2;
+               stroke-dasharray: 2 3; }
+.actions .icon { color: var(--good); }
 .line { fill: none; stroke-width: 2; }
 .s1 { stroke: var(--s1); } .s2 { stroke: var(--s2); }
 .s3 { stroke: var(--s3); }
@@ -176,8 +179,13 @@ def _line_chart(times: Sequence[float],
                 threshold: Optional[float] = None,
                 threshold_label: str = "",
                 episodes: Sequence[Tuple[float, Optional[float]]] = (),
-                anomalies: Sequence[Tuple[float, float]] = ()) -> str:
-    """One SVG line chart (single y-axis, 2px lines, hover points)."""
+                anomalies: Sequence[Tuple[float, float]] = (),
+                actions: Sequence[Tuple[float, str]] = ()) -> str:
+    """One SVG line chart (single y-axis, 2px lines, hover points).
+
+    ``actions`` are (sim time, rule name) actuation markers — dashed
+    vertical lines at the window edges where a feedback rule fired.
+    """
     x0, x1 = (times[0], times[-1]) if times else (0.0, 1.0)
     values = [v for _name, col in series for v in col if v is not None]
     if threshold is not None:
@@ -249,6 +257,12 @@ def _line_chart(times: Sequence[float],
     for t, v in anomalies:
         parts.append(f'<circle class="anom" cx="{sx(t):.1f}" '
                      f'cy="{sy(v):.1f}" r="4"/>')
+    for t, rule in actions:
+        x = sx(t)
+        parts.append(f'<line class="action-mark" x1="{x:.1f}" '
+                     f'y1="{_MT}" x2="{x:.1f}" y2="{_H - _MB}"/>')
+        hover.append({"x": round(x, 1),
+                      "label": f"action {rule}\nt={_fmt(t)} ns"})
     data = html.escape(json.dumps(hover, sort_keys=True), quote=True)
     return (f'<svg viewBox="0 0 {_W} {_H}" role="img" '
             f'data-points="{data}">{"".join(parts)}</svg>')
@@ -280,6 +294,9 @@ def render_dashboard(report: Dict[str, Any]) -> str:
                  for alert in slo["alerts"] if alert["active"])
     anomaly_points = sum(len(rule["points"])
                          for rule in report["anomalies"])
+    control = report.get("control")
+    action_marks = [(a["t"], a["rule"])
+                    for a in control["actions"]] if control else []
     if active:
         alert_tile = ('<span class="icon" style="color:var(--critical)">'
                       f'&#9650;</span> {episodes_total} '
@@ -298,13 +315,14 @@ def render_dashboard(report: Dict[str, Any]) -> str:
                 f' &middot; sampler {_fmt(report["interval_ns"])} ns'
                 f' &middot; trace sample 1/{report["trace"]["sample"]}'
                 '</p>')
-    body.append('<div class="tiles">'
-                + _tile(str(len(windows)), "windows")
-                + _tile(alert_tile, "alert episodes")
-                + _tile(str(anomaly_points), "anomaly points")
-                + _tile(str(report["trace"]["analyzed"]),
-                        "transactions attributed")
-                + '</div>')
+    tiles = (_tile(str(len(windows)), "windows")
+             + _tile(alert_tile, "alert episodes")
+             + _tile(str(anomaly_points), "anomaly points")
+             + _tile(str(report["trace"]["analyzed"]),
+                     "transactions attributed"))
+    if control is not None:
+        tiles += _tile(str(len(control["actions"])), "control actions")
+    body.append('<div class="tiles">' + tiles + '</div>')
 
     # One burn-rate chart per SLO, shaded with its alert episodes.
     for slo in report["slos"]:
@@ -320,7 +338,7 @@ def render_dashboard(report: Dict[str, Any]) -> str:
             threshold=threshold,
             threshold_label=f"burn {_fmt(threshold)}x"
             if threshold is not None else "",
-            episodes=episodes) + '</div>')
+            episodes=episodes, actions=action_marks) + '</div>')
         items = []
         for alert in slo["alerts"]:
             for episode in alert["episodes"]:
@@ -349,7 +367,7 @@ def render_dashboard(report: Dict[str, Any]) -> str:
             times,
             [(name, routes[name]["share"]["credit_stall"])
              for name in names],
-            "") + '</div>')
+            "", actions=action_marks) + '</div>')
         body.append(_legend(names))
         if dropped:
             body.append(f'<p class="sub">({dropped} more route(s) in '
@@ -382,6 +400,25 @@ def render_dashboard(report: Dict[str, Any]) -> str:
         cls = 'fired' if points else 'cleared'
         body.append(f'<ul class="alerts"><li class="{cls}">'
                     f'<span class="icon">{icon}</span>{label}</li></ul>')
+
+    # Closed-loop action log (when a feedback policy ran).
+    if control is not None:
+        body.append('<h2>control actions</h2>')
+        items = []
+        for action in control["actions"]:
+            settings = html.escape(
+                json.dumps(action["set"], sort_keys=True))
+            items.append(
+                '<li><span class="icon">&#9881;</span>'
+                f'{_fmt(action["t"])} ns &middot; rule '
+                f'{html.escape(str(action["rule"]))} &rarr; '
+                f'{html.escape(action["actuator"])} '
+                f'<code>{settings}</code></li>')
+        if not items:
+            items.append('<li><span class="icon">&#10003;</span>'
+                         'no rules fired</li>')
+        body.append('<ul class="alerts actions">' + "".join(items)
+                    + '</ul>')
 
     # Table view: every window, plus each SLO's burn column.
     head = "".join(f'<th>{h}</th>' for h in

@@ -74,18 +74,25 @@ class HealthError(ValueError):
 # --------------------------------------------------------------------------
 
 class _Objective:
-    """One parsed SLI objective: what fraction of a window was good."""
+    """One parsed SLI objective: what fraction of a window was good.
+
+    ``where`` is the JSON-path location errors carry (the topology
+    loader's convention), e.g. ``slos[0].objective``.
+    """
 
     __slots__ = ("kind", "fields")
 
-    def __init__(self, payload: Dict[str, Any]) -> None:
+    def __init__(self, payload: Dict[str, Any],
+                 where: str = "objective") -> None:
         if not isinstance(payload, dict):
-            raise HealthError("objective must be a JSON object")
+            raise HealthError(
+                f"{where}: expected a JSON object, got "
+                f"{type(payload).__name__}")
         kind = payload.get("kind")
         if kind not in _OBJECTIVE_KINDS:
             raise HealthError(
-                f"unknown objective kind {kind!r}; choose from "
-                f"{', '.join(_OBJECTIVE_KINDS)}")
+                f"{where}.kind: unknown objective kind {kind!r}; "
+                f"choose from {', '.join(_OBJECTIVE_KINDS)}")
         self.kind = kind
         required = {"attribution_share": ("route", "category"),
                     "counter_ratio": ("bad", "total"),
@@ -94,12 +101,13 @@ class _Objective:
         for key in required:
             if key not in payload:
                 raise HealthError(
-                    f"objective kind {kind!r} needs field {key!r}")
+                    f"{where}.{key}: required by objective kind "
+                    f"{kind!r}")
             self.fields[key] = payload[key]
         if kind == "attribution_share" \
                 and self.fields["category"] not in CATEGORIES:
             raise HealthError(
-                f"unknown attribution category "
+                f"{where}.category: unknown attribution category "
                 f"{self.fields['category']!r}; choose from "
                 f"{', '.join(CATEGORIES)}")
 
@@ -153,9 +161,12 @@ class _AlertRule:
     __slots__ = ("name", "burn_rate", "long_windows", "short_windows",
                  "episodes", "active")
 
-    def __init__(self, payload: Dict[str, Any]) -> None:
+    def __init__(self, payload: Dict[str, Any],
+                 where: str = "alert") -> None:
         if not isinstance(payload, dict):
-            raise HealthError("alert rule must be a JSON object")
+            raise HealthError(
+                f"{where}: expected a JSON object, got "
+                f"{type(payload).__name__}")
         self.name = payload.get("name", "burn")
         try:
             self.burn_rate = float(payload["burn_rate"])
@@ -163,17 +174,17 @@ class _AlertRule:
             self.short_windows = int(payload.get("short_windows", 1))
         except (KeyError, TypeError, ValueError):
             raise HealthError(
-                f"alert rule {self.name!r} needs numeric burn_rate "
-                "(and optional integer long_windows/short_windows)"
-            ) from None
+                f"{where}: alert rule {self.name!r} needs numeric "
+                "burn_rate (and optional integer "
+                "long_windows/short_windows)") from None
         if self.burn_rate <= 0:
             raise HealthError(
-                f"alert rule {self.name!r}: burn_rate must be > 0")
+                f"{where}.burn_rate: must be > 0, got "
+                f"{self.burn_rate}")
         if not 1 <= self.short_windows <= self.long_windows:
             raise HealthError(
-                f"alert rule {self.name!r}: need 1 <= short_windows "
-                f"<= long_windows, got {self.short_windows} / "
-                f"{self.long_windows}")
+                f"{where}: need 1 <= short_windows <= long_windows, "
+                f"got {self.short_windows} / {self.long_windows}")
         self.episodes: List[Dict[str, Optional[float]]] = []
         self.active = False
 
@@ -212,26 +223,34 @@ class _Slo:
     __slots__ = ("name", "objective", "target", "budget", "rules",
                  "sli", "burn")
 
-    def __init__(self, payload: Dict[str, Any]) -> None:
+    def __init__(self, payload: Dict[str, Any],
+                 where: str = "slo") -> None:
         if not isinstance(payload, dict):
-            raise HealthError("slo must be a JSON object")
+            raise HealthError(
+                f"{where}: expected a JSON object, got "
+                f"{type(payload).__name__}")
         name = payload.get("name")
         if not name or not isinstance(name, str):
-            raise HealthError("every slo needs a string 'name'")
+            raise HealthError(
+                f"{where}.name: every slo needs a non-empty string "
+                "name")
         self.name = name
-        self.objective = _Objective(payload.get("objective", {}))
+        self.objective = _Objective(payload.get("objective", {}),
+                                    where=f"{where}.objective")
         try:
             self.target = float(payload["target"])
         except (KeyError, TypeError, ValueError):
             raise HealthError(
-                f"slo {name!r} needs a numeric 'target'") from None
+                f"{where}.target: slo {name!r} needs a numeric "
+                "'target'") from None
         if not 0.0 < self.target < 1.0:
             raise HealthError(
-                f"slo {name!r}: target must be in (0, 1), got "
+                f"{where}.target: must be in (0, 1), got "
                 f"{self.target}")
         self.budget = 1.0 - self.target
-        self.rules = [_AlertRule(rule)
-                      for rule in payload.get("alerts", [])]
+        self.rules = [_AlertRule(rule, where=f"{where}.alerts[{i}]")
+                      for i, rule in
+                      enumerate(payload.get("alerts", []))]
         self.sli: List[Optional[float]] = []
         self.burn: List[Optional[float]] = []
 
@@ -253,21 +272,26 @@ class _AnomalyRule:
     __slots__ = ("name", "series", "alpha", "factor", "warmup", "floor",
                  "_ewma", "_seen", "points")
 
-    def __init__(self, payload: Dict[str, Any]) -> None:
+    def __init__(self, payload: Dict[str, Any],
+                 where: str = "anomaly") -> None:
         if not isinstance(payload, dict):
-            raise HealthError("anomaly rule must be a JSON object")
+            raise HealthError(
+                f"{where}: expected a JSON object, got "
+                f"{type(payload).__name__}")
         name = payload.get("name")
         if not name or not isinstance(name, str):
-            raise HealthError("every anomaly rule needs a string 'name'")
+            raise HealthError(
+                f"{where}.name: every anomaly rule needs a non-empty "
+                "string name")
         self.name = name
         series = payload.get("series")
         if not isinstance(series, dict) or "kind" not in series:
             raise HealthError(
-                f"anomaly rule {name!r} needs a series object with a "
-                "'kind'")
+                f"{where}.series: anomaly rule {name!r} needs a "
+                "series object with a 'kind'")
         if series["kind"] not in ("counter_delta", "attribution_share"):
             raise HealthError(
-                f"anomaly rule {name!r}: unknown series kind "
+                f"{where}.series.kind: unknown series kind "
                 f"{series['kind']!r}; choose from counter_delta, "
                 "attribution_share")
         self.series = dict(series)
@@ -277,8 +301,7 @@ class _AnomalyRule:
         self.floor = float(payload.get("floor", 0.0))
         if not 0.0 < self.alpha <= 1.0:
             raise HealthError(
-                f"anomaly rule {name!r}: alpha must be in (0, 1], got "
-                f"{self.alpha}")
+                f"{where}.alpha: must be in (0, 1], got {self.alpha}")
         self._ewma: Optional[float] = None
         self._seen = 0
         self.points: List[Dict[str, float]] = []
@@ -335,12 +358,14 @@ class SloSpec:
         if payload.get("schema", 1) != 1:
             raise HealthError(
                 f"unsupported slo spec schema {payload.get('schema')!r}")
-        self.slos = [_Slo(item) for item in payload.get("slos", [])]
+        self.slos = [_Slo(item, where=f"slos[{i}]")
+                     for i, item in enumerate(payload.get("slos", []))]
         names = [slo.name for slo in self.slos]
         if len(set(names)) != len(names):
             raise HealthError(f"duplicate slo names in spec: {names}")
-        self.anomalies = [_AnomalyRule(item)
-                          for item in payload.get("anomaly", [])]
+        self.anomalies = [
+            _AnomalyRule(item, where=f"anomaly[{i}]")
+            for i, item in enumerate(payload.get("anomaly", []))]
 
     @classmethod
     def load(cls, path) -> "SloSpec":
@@ -548,7 +573,8 @@ class HealthMonitor:
 
     def build_report(self, policy: str = "rampup",
                      interval_ns: float = DEFAULT_INTERVAL_NS,
-                     summary: Optional[Dict[str, Any]] = None
+                     summary: Optional[Dict[str, Any]] = None,
+                     control: Optional[Dict[str, Any]] = None
                      ) -> Dict[str, Any]:
         """The schema-stable ``repro health --json`` payload."""
         recorder = self.telemetry.causal
@@ -628,6 +654,8 @@ class HealthMonitor:
                 "pending": len(self._txns),
             },
         }
+        if control is not None:
+            payload["control"] = control
         if summary is not None:
             payload["summary"] = summary
         return payload
@@ -641,12 +669,21 @@ def run_health(scenario: str, policy: str = "rampup",
                window_ns: float = DEFAULT_WINDOW_NS,
                interval_ns: float = DEFAULT_INTERVAL_NS,
                spec: Optional[SloSpec] = None,
-               causal_sample: int = 1):
+               causal_sample: int = 1,
+               feedback=None):
     """Run one scenario under the health monitor.
 
     Returns ``(ScenarioResult, report)``.  ``policy`` selects the
     starvation scenario's credit policy (``rampup`` — the pathological
     default — or ``fair``); other scenarios accept only ``rampup``.
+
+    ``feedback`` is an optional
+    :class:`~repro.control.FeedbackPolicy`: a
+    :class:`~repro.control.ControlPlane` then rides the monitor's
+    window stream and applies matching rules through the scenario's
+    registered actuators (currently the starvation scenario's
+    ``credits.egress0``), and the report gains a ``control`` section
+    with the sim-time-stamped action log.
     """
     remainder = window_ns % interval_ns
     if min(remainder, abs(interval_ns - remainder)) > _EPS \
@@ -658,8 +695,16 @@ def run_health(scenario: str, policy: str = "rampup",
     from ..experiments import registry as _registry
     from .scenarios import ScenarioResult, starvation_build
     defn = _registry.get(scenario, kind="scenario")
+    plane = None
+    if feedback is not None:
+        if scenario != "starvation":
+            raise HealthError(
+                "feedback policies are wired for the starvation "
+                f"scenario only; {scenario!r} registers no actuators")
+        from ..control import ControlPlane
+        plane = ControlPlane(feedback)
     if scenario == "starvation":
-        build = starvation_build(policy)
+        build = starvation_build(policy, plane=plane)
     elif policy != "rampup":
         raise HealthError(
             "policy applies to the starvation scenario only; "
@@ -669,6 +714,8 @@ def run_health(scenario: str, policy: str = "rampup",
     telemetry = Telemetry(causal=CausalRecorder(sample=causal_sample))
     monitor = HealthMonitor(telemetry, scenario=scenario,
                             window_ns=window_ns, spec=spec)
+    if plane is not None:
+        plane.attach(monitor)
     from ..sim import Environment
     env = Environment(telemetry=telemetry)
     TimelineSampler(env, interval_ns=interval_ns).start()
@@ -678,7 +725,9 @@ def run_health(scenario: str, policy: str = "rampup",
                             summary=summary)
     report = monitor.build_report(policy=policy,
                                   interval_ns=interval_ns,
-                                  summary=summary)
+                                  summary=summary,
+                                  control=plane.report()
+                                  if plane is not None else None)
     return result, report
 
 
@@ -786,6 +835,30 @@ def validate_health_report(payload: Dict[str, Any]) -> int:
             if point["t"] not in edges:
                 fail(f"anomaly {rule['name']!r}: t {point['t']} is "
                      "not a window edge")
+    control = payload.get("control")
+    if control is not None:
+        for key in ("policy", "actuators", "actions"):
+            if key not in control:
+                fail(f"control: missing key {key!r}")
+        final_edges = {w["t1"] for w in windows if w["final"]}
+        previous_t = float("-inf")
+        for i, action in enumerate(control["actions"]):
+            for key in ("t", "actuator", "rule", "set", "before",
+                        "after", "window"):
+                if key not in action:
+                    fail(f"control.actions[{i}]: missing key {key!r}")
+            if action["t"] not in edges:
+                fail(f"control.actions[{i}]: t {action['t']} is not "
+                     "a window edge")
+            if action["t"] in final_edges:
+                fail(f"control.actions[{i}]: acted on the final "
+                     "(post-run) window")
+            if action["t"] < previous_t:
+                fail(f"control.actions[{i}]: actions out of order")
+            previous_t = action["t"]
+            if not 0 <= action["window"] < count:
+                fail(f"control.actions[{i}]: window "
+                     f"{action['window']} outside report")
     trace = payload["trace"]
     for key in ("sample", "started", "finished", "analyzed", "pending"):
         if not isinstance(trace.get(key), int):

@@ -81,7 +81,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "count", "total", "minimum", "maximum",
-                 "_buckets", "last_time")
+                 "_buckets", "last_time", "_window_min", "_window_max")
 
     kind = "histogram"
 
@@ -93,6 +93,11 @@ class Histogram:
         self.maximum: Optional[float] = None
         self._buckets: Dict[int, int] = {}
         self.last_time: Optional[float] = None
+        # Per-window extrema: reset by snapshot_delta, so consecutive
+        # delta calls see exact min/max for their own window (the
+        # cumulative pair above cannot recover these).
+        self._window_min: Optional[float] = None
+        self._window_max: Optional[float] = None
 
     def observe(self, value: float, time: Optional[float] = None) -> None:
         if value < 0:
@@ -107,6 +112,10 @@ class Histogram:
             self.minimum = value
         if self.maximum is None or value > self.maximum:
             self.maximum = value
+        if self._window_min is None or value < self._window_min:
+            self._window_min = value
+        if self._window_max is None or value > self._window_max:
+            self._window_max = value
 
     @property
     def mean(self) -> float:
@@ -164,13 +173,17 @@ class Histogram:
 
         ``prev=None`` means "since the beginning" (the delta is the
         full cumulative state).  The result has the :meth:`to_dict`
-        shape minus ``min``/``max``/``last_time`` — bucket counts only
-        ever grow, so count/sum/quantiles are exactly derivable per
-        window, but extremes are not (a window's min cannot be
-        recovered from two cumulative snapshots).  An empty window
-        (no new observations) reports ``count 0`` with ``None``
-        mean/quantiles, matching the idle-histogram convention of
-        :meth:`quantile`.
+        shape minus ``last_time``; count/sum/quantiles are derived
+        exactly from the cumulative snapshots, while ``min``/``max``
+        are *true per-window extremes* tracked directly in
+        :meth:`observe` and reset here — calling ``snapshot_delta``
+        closes the extrema window, so consecutive calls partition
+        observations exactly (a window's min is not recoverable from
+        two cumulative snapshots).  An empty window (no new
+        observations) reports ``count 0`` with ``None``
+        mean/min/max/quantiles, matching the idle-histogram convention
+        of :meth:`quantile`; the error path (a *newer* ``prev``)
+        leaves the extrema window untouched.
         """
         if prev is None:
             prev_count, prev_total = 0, 0.0
@@ -204,9 +217,14 @@ class Histogram:
                     return high
             return rows[-1][1]
 
+        window_min, window_max = self._window_min, self._window_max
+        self._window_min = None
+        self._window_max = None
         return {"kind": self.kind, "count": count,
                 "sum": total,
                 "mean": total / count if count else None,
+                "min": window_min if count else None,
+                "max": window_max if count else None,
                 "p50": _quantile(0.50),
                 "p95": _quantile(0.95),
                 "p99": _quantile(0.99),

@@ -142,7 +142,7 @@ STARVATION_POLICIES: Dict[str, Callable[[], Any]] = {
 }
 
 
-def starvation_build(policy: str = "rampup"
+def starvation_build(policy: str = "rampup", plane: Any = None
                      ) -> Callable[[Environment], Dict[str, Any]]:
     """The starvation builder with its credit policy swapped.
 
@@ -150,23 +150,30 @@ def starvation_build(policy: str = "rampup"
     default build); ``fair`` is the control the health SLO must stay
     quiet on — StaticEqualPolicy grants each flow budget/flows = 16
     credits, enough for the 8-worker window, so the quiet burst never
-    stalls.
+    stalls.  ``plane`` is an optional
+    :class:`~repro.control.ControlPlane`: the build then registers a
+    :class:`~repro.control.CreditActuator` over the egress domain so
+    feedback rules targeting ``credits.egress0`` can act.
     """
     if policy not in STARVATION_POLICIES:
         raise ValueError(
             f"unknown starvation policy {policy!r}; choose from "
             f"{', '.join(sorted(STARVATION_POLICIES))}")
-    return lambda env: _build_starvation(env, policy=policy)
+    return lambda env: _build_starvation(env, policy=policy,
+                                         plane=plane)
 
 
-def _build_starvation(env: Environment,
-                      policy: str = "rampup") -> Dict[str, Any]:
+def _build_starvation(env: Environment, policy: str = "rampup",
+                      plane: Any = None) -> Dict[str, Any]:
     domain = CreditDomain(env, budget=32,
                           policy=STARVATION_POLICIES[policy](),
                           rebalance_ns=2_000.0, name="egress0")
     domain.register("hot")
     domain.register("quiet")
     domain.start()
+    if plane is not None:
+        from ..control import CreditActuator
+        plane.add_actuator(CreditActuator(domain))
     stalled: Dict[str, float] = {"hot": 0.0, "quiet": 0.0}
     tel = env.telemetry
     causal = tel.causal if tel is not None else None

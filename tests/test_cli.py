@@ -146,6 +146,44 @@ class TestHealthCli:
                      "--policy", "fair"]) == 2
         assert "starvation" in capsys.readouterr().err
 
+    def test_health_feedback_surfaces_the_action_log(self, capsys):
+        assert main(["health", "--scenario", "starvation",
+                     "--feedback", "default"]) == 0
+        out = capsys.readouterr().out
+        assert "control: 1 action(s)" in out
+        assert "rule rescue-quiet" in out
+        assert "14,000.0 ns" in out
+
+    def test_health_feedback_json_carries_control_section(self, capsys):
+        from repro.telemetry import validate_health_report
+        assert main(["health", "--scenario", "starvation",
+                     "--feedback", "default", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert validate_health_report(payload) >= 2
+        control = payload["control"]
+        assert control["policy"]["source"] == "default"
+        assert [a["t"] for a in control["actions"]] == [14_000.0]
+
+    def test_health_feedback_bad_inputs_exit_two(self, capsys, tmp_path):
+        assert main(["health", "--scenario", "starvation",
+                     "--feedback", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"rules": []}))
+        assert main(["health", "--scenario", "starvation",
+                     "--feedback", str(bad)]) == 2
+        assert "rules" in capsys.readouterr().err
+        assert main(["health", "--scenario", "t2",
+                     "--feedback", "default"]) == 2
+        assert "no default feedback policy" in capsys.readouterr().err
+
+    def test_health_help_documents_exit_codes(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["health", "--help"])
+        out = capsys.readouterr().out
+        assert "exit codes:" in out
+        assert "bad input" in out
+
 
 class TestListCli:
     def test_list_prints_catalog(self, capsys):

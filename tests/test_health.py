@@ -99,6 +99,69 @@ class TestSloSpec:
             SloSpec.load(tmp_path / "garbage.json")
 
 
+class TestSloSpecErrorPaths:
+    """Errors carry the exact JSON path, topo-loader style."""
+
+    def test_unknown_kind_names_the_objective_path(self):
+        with pytest.raises(
+                HealthError,
+                match=r"slos\[0\]\.objective\.kind: unknown objective "
+                      r"kind 'vibes'"):
+            SloSpec({"slos": [{"name": "x", "target": 0.9,
+                               "objective": {"kind": "vibes"}}]})
+
+    def test_missing_target_names_the_slo_path(self):
+        with pytest.raises(
+                HealthError,
+                match=r"slos\[0\]\.target: slo 'x' needs a numeric "
+                      r"'target'"):
+            SloSpec({"slos": [{
+                "name": "x",
+                "objective": {"kind": "counter_ratio",
+                              "bad": "a", "total": "b"}}]})
+
+    def test_missing_objective_field_names_kind_and_path(self):
+        with pytest.raises(
+                HealthError,
+                match=r"slos\[0\]\.objective\.route: required by "
+                      r"objective kind 'attribution_share'"):
+            SloSpec({"slos": [{
+                "name": "x", "target": 0.9,
+                "objective": {"kind": "attribution_share",
+                              "category": "credit_stall"}}]})
+
+    def test_malformed_burn_rate_names_the_alert_path(self):
+        with pytest.raises(
+                HealthError,
+                match=r"slos\[0\]\.alerts\[0\]\.burn_rate: must be "
+                      r"> 0, got -1\.0"):
+            SloSpec({"slos": [{
+                "name": "x", "target": 0.9,
+                "objective": {"kind": "counter_ratio",
+                              "bad": "a", "total": "b"},
+                "alerts": [{"name": "r", "burn_rate": -1.0}]}]})
+
+    def test_second_slo_gets_its_own_index(self):
+        good = {"name": "ok", "target": 0.9,
+                "objective": {"kind": "counter_ratio",
+                              "bad": "a", "total": "b"}}
+        with pytest.raises(HealthError, match=r"slos\[1\]\.target"):
+            SloSpec({"slos": [good, {
+                "name": "bad", "target": 5.0,
+                "objective": {"kind": "counter_ratio",
+                              "bad": "a", "total": "b"}}]})
+
+    def test_anomaly_alpha_out_of_range_names_its_path(self):
+        with pytest.raises(
+                HealthError,
+                match=r"anomaly\[0\]\.alpha: must be in \(0, 1\], "
+                      r"got 9\.0"):
+            SloSpec({"anomaly": [{
+                "name": "a",
+                "series": {"kind": "counter_delta", "metric": "m"},
+                "alpha": 9.0}]})
+
+
 class TestMonitorWiring:
     def test_needs_a_causal_recorder(self):
         with pytest.raises(ValueError, match="causal"):

@@ -195,6 +195,50 @@ class TestHistogramSnapshotDelta:
         with pytest.raises(ValueError, match="newer"):
             fresh.snapshot_delta(newer)
 
+    def test_window_extrema_are_exact_not_bucket_bounds(self):
+        hist = Histogram("lat")
+        hist.observe(5)
+        hist.observe(900)
+        hist.snapshot_delta(None)      # close window 0: {5, 900}
+        prev = hist.to_dict()
+        hist.observe(37)               # window 1: {37, 310}
+        hist.observe(310)
+        delta = hist.snapshot_delta(prev)
+        assert delta["min"] == 37.0    # exact values, not 32.0/512.0
+        assert delta["max"] == 310.0
+        assert hist.minimum == 5.0 and hist.maximum == 900.0
+
+    def test_window_extrema_reset_between_windows(self):
+        hist = Histogram("lat")
+        hist.observe(1000)
+        hist.snapshot_delta(None)      # closes the first window
+        prev = hist.to_dict()
+        hist.observe(7)
+        delta = hist.snapshot_delta(prev)
+        assert delta["min"] == 7.0     # the 1000 belongs to window 1
+        assert delta["max"] == 7.0
+
+    def test_empty_window_extrema_are_absent(self):
+        hist = Histogram("lat")
+        hist.observe(5)
+        hist.snapshot_delta(None)
+        prev = hist.to_dict()
+        delta = hist.snapshot_delta(prev)
+        assert delta["count"] == 0
+        assert delta["min"] is None and delta["max"] is None
+
+    def test_error_path_leaves_the_extrema_window_open(self):
+        hist = Histogram("lat")
+        hist.observe(1)
+        hist.observe(2)
+        newer = hist.to_dict()
+        fresh = Histogram("lat")
+        fresh.observe(42)
+        with pytest.raises(ValueError, match="newer"):
+            fresh.snapshot_delta(newer)
+        delta = fresh.snapshot_delta(None)   # the 42 is still windowed
+        assert delta["min"] == 42.0 and delta["max"] == 42.0
+
 
 class TestEnvironmentHook:
     def test_off_by_default(self):
